@@ -1,0 +1,44 @@
+"""Figure 1 — normalised total network traffic over 24 hours.
+
+Reproduces the diurnal cycles of the European and American subnetworks; the
+busy periods differ per region but partially overlap around 18:00 GMT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once, save_result
+from repro.evaluation.figures import total_traffic_over_time
+
+
+def bench_fig01(europe, america):
+    eu = total_traffic_over_time(europe)
+    us = total_traffic_over_time(america)
+    eu_peak_hour = float(eu["time_seconds"][np.argmax(eu["normalized_total_traffic"])] / 3600.0)
+    us_peak_hour = float(us["time_seconds"][np.argmax(us["normalized_total_traffic"])] / 3600.0)
+    evening = int(18 * 12)  # index of 18:00 in five-minute samples
+    data = {
+        "europe_peak_hour": eu_peak_hour,
+        "america_peak_hour": us_peak_hour,
+        "europe_level_at_18gmt": float(eu["normalized_total_traffic"][evening]),
+        "america_level_at_18gmt": float(us["normalized_total_traffic"][evening]),
+        "europe_series": eu["normalized_total_traffic"],
+        "america_series": us["normalized_total_traffic"],
+        "time_seconds": eu["time_seconds"],
+    }
+    return data
+
+
+def test_fig01_total_traffic_over_time(benchmark, europe, america):
+    data = run_once(benchmark, lambda: bench_fig01(europe, america))
+    save_result("fig01_diurnal", data)
+    print(
+        f"\n[Fig 1] peak hours: Europe {data['europe_peak_hour']:.1f}h, "
+        f"America {data['america_peak_hour']:.1f}h; "
+        f"levels at 18:00 GMT: EU {data['europe_level_at_18gmt']:.2f}, "
+        f"US {data['america_level_at_18gmt']:.2f}"
+    )
+    assert data["europe_peak_hour"] != data["america_peak_hour"]
+    assert data["europe_level_at_18gmt"] > 0.6
+    assert data["america_level_at_18gmt"] > 0.6

@@ -1,0 +1,36 @@
+"""Figure 2 — cumulative demand distribution.
+
+The paper finds the top 20 % of demands carry roughly 80 % of the traffic in
+both subnetworks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once, save_result
+from repro.evaluation.figures import cumulative_demand_distribution
+
+
+def bench_fig02(scenario):
+    data = cumulative_demand_distribution(scenario)
+    share_at_20 = float(np.interp(0.2, data["rank_fraction"], data["traffic_fraction"]))
+    return {
+        "rank_fraction": data["rank_fraction"],
+        "traffic_fraction": data["traffic_fraction"],
+        "top20_share": share_at_20,
+    }
+
+
+def test_fig02_cumulative_demand_distribution(benchmark, europe, america):
+    def run():
+        return {"europe": bench_fig02(europe), "america": bench_fig02(america)}
+
+    data = run_once(benchmark, run)
+    save_result("fig02_cumulative", data)
+    print(
+        f"\n[Fig 2] top-20% demand share: Europe {data['europe']['top20_share']:.2f}, "
+        f"America {data['america']['top20_share']:.2f} (paper: ~0.80 for both)"
+    )
+    for region in ("europe", "america"):
+        assert 0.7 < data[region]["top20_share"] < 0.92

@@ -1,0 +1,38 @@
+"""Figure 3 — spatial distribution of traffic (source/destination heat map).
+
+A limited subset of PoPs accounts for the majority of the traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once, save_result
+from repro.evaluation.figures import spatial_distribution
+
+
+def bench_fig03(scenario):
+    data = spatial_distribution(scenario)
+    dense = data["demand_matrix"]
+    row_share = np.sort(dense.sum(axis=1))[::-1]
+    row_share = row_share / row_share.sum()
+    return {
+        "node_names": data["node_names"],
+        "demand_matrix": dense,
+        "top3_source_share": float(row_share[:3].sum()),
+    }
+
+
+def test_fig03_spatial_distribution(benchmark, europe, america):
+    def run():
+        return {"europe": bench_fig03(europe), "america": bench_fig03(america)}
+
+    data = run_once(benchmark, run)
+    save_result("fig03_spatial", data)
+    print(
+        f"\n[Fig 3] traffic share of 3 largest source PoPs: "
+        f"Europe {data['europe']['top3_source_share']:.2f}, "
+        f"America {data['america']['top3_source_share']:.2f}"
+    )
+    assert data["europe"]["top3_source_share"] > 0.35
+    assert data["america"]["top3_source_share"] > 0.3

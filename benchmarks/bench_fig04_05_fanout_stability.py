@@ -1,0 +1,41 @@
+"""Figures 4-5 — stability of demands vs. fanouts for the largest source PoPs.
+
+Fanouts of the large sources fluctuate much less over the day than the
+demands themselves, which motivates the fanout estimation method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once, save_result
+from repro.evaluation.figures import fanout_stability
+
+
+def test_fig04_05_fanout_stability(benchmark, europe, america):
+    def run():
+        return {
+            "europe": fanout_stability(europe, num_sources=4),
+            "america": fanout_stability(america, num_sources=4),
+        }
+
+    data = run_once(benchmark, run)
+    save_result(
+        "fig04_05_fanout_stability",
+        {
+            region: {
+                "labels": values["labels"],
+                "demand_cov": values["demand_cov"],
+                "fanout_cov": values["fanout_cov"],
+            }
+            for region, values in data.items()
+        },
+    )
+    for region in ("europe", "america"):
+        demand_cov = float(np.mean(data[region]["demand_cov"]))
+        fanout_cov = float(np.mean(data[region]["fanout_cov"]))
+        print(
+            f"\n[Fig 4/5] {region}: mean coefficient of variation "
+            f"demands {demand_cov:.3f} vs fanouts {fanout_cov:.3f}"
+        )
+        assert fanout_cov < demand_cov

@@ -1,0 +1,35 @@
+"""Figure 6 — mean-variance relation of the busy-period demands.
+
+The paper fits Var = phi * mean^c with (phi, c) = (0.82, 1.6) for Europe and
+(2.44, 1.5) for America; the synthetic scenarios are calibrated to the same
+law and the fit must recover an exponent in that range.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_result
+from repro.evaluation.figures import mean_variance_relation
+
+
+def test_fig06_mean_variance_relation(benchmark, europe, america):
+    def run():
+        return {
+            "europe": mean_variance_relation(europe),
+            "america": mean_variance_relation(america),
+        }
+
+    data = run_once(benchmark, run)
+    save_result(
+        "fig06_mean_variance",
+        {
+            region: {"phi": values["phi"], "c": values["c"]}
+            for region, values in data.items()
+        },
+    )
+    print(
+        f"\n[Fig 6] fitted scaling law: Europe phi={data['europe']['phi']:.2f} "
+        f"c={data['europe']['c']:.2f} (paper 0.82/1.6); "
+        f"America phi={data['america']['phi']:.2f} c={data['america']['c']:.2f} (paper 2.44/1.5)"
+    )
+    for region in ("europe", "america"):
+        assert 1.2 < data[region]["c"] < 2.0

@@ -1,0 +1,42 @@
+"""Figure 7 — real demands vs. simple gravity model estimates.
+
+The gravity model is a reasonable prior for the European network but badly
+underestimates the large demands of the American network, whose PoPs have a
+few dominating destinations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once, save_result
+from repro.evaluation.figures import gravity_scatter
+
+
+def test_fig07_gravity_scatter(benchmark, europe, america):
+    def run():
+        return {"europe": gravity_scatter(europe), "america": gravity_scatter(america)}
+
+    data = run_once(benchmark, run)
+    save_result(
+        "fig07_gravity",
+        {region: {"mre": values["mre"]} for region, values in data.items()},
+    )
+
+    def underestimation_of_large_demands(values):
+        actual, estimated = values["actual"], values["estimated"]
+        largest = np.argsort(actual)[-20:]
+        return float(np.mean(estimated[largest] / actual[largest]))
+
+    eu_ratio = underestimation_of_large_demands(data["europe"])
+    us_ratio = underestimation_of_large_demands(data["america"])
+    print(
+        f"\n[Fig 7] gravity MRE: Europe {data['europe']['mre']:.2f} (paper 0.26), "
+        f"America {data['america']['mre']:.2f} (paper 0.78); "
+        f"mean estimated/actual on the 20 largest demands: EU {eu_ratio:.2f}, US {us_ratio:.2f}"
+    )
+    # Shape: gravity is much worse on the America-like network and
+    # underestimates its large demands.
+    assert data["america"]["mre"] > 1.5 * data["europe"]["mre"]
+    assert us_ratio < eu_ratio
+    assert us_ratio < 0.85

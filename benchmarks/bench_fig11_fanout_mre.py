@@ -1,0 +1,32 @@
+"""Figure 11 — fanout-estimation MRE as a function of the measurement window.
+
+The error drops over the first few snapshots and then levels out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once, save_result
+from repro.evaluation.figures import fanout_mre_vs_window
+
+WINDOWS = (1, 2, 3, 5, 10, 20, 30, 40)
+
+
+def test_fig11_fanout_mre_vs_window(benchmark, europe, america):
+    def run():
+        return {
+            "europe": fanout_mre_vs_window(europe, window_lengths=WINDOWS),
+            "america": fanout_mre_vs_window(america, window_lengths=WINDOWS),
+        }
+
+    data = run_once(benchmark, run)
+    save_result("fig11_fanout_mre", data)
+    for region in ("europe", "america"):
+        series = data[region]
+        printable = {int(w): round(float(m), 3) for w, m in zip(series["window_lengths"], series["mre"])}
+        print(f"\n[Fig 11] {region} fanout MRE vs window: {printable}")
+        # Shape: longer windows do not make things worse once past the first few
+        # samples (error levels out rather than growing).
+        late = series["mre"][-3:]
+        assert np.max(late) <= np.max(series["mre"]) + 1e-9

@@ -1,0 +1,30 @@
+"""Figure 12 — Vardi MRE vs. window size on synthetic Poisson traffic.
+
+Even when the Poisson assumption holds exactly, the covariance estimate
+converges slowly: hundreds of samples are needed for a usable error level.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_result
+from repro.evaluation.figures import vardi_synthetic_mre_vs_window
+
+WINDOWS = (25, 50, 100, 200, 400, 700, 1000)
+
+
+def test_fig12_vardi_synthetic(benchmark, europe, america):
+    def run():
+        return {
+            "europe": vardi_synthetic_mre_vs_window(europe, window_sizes=WINDOWS, seed=7),
+            "america": vardi_synthetic_mre_vs_window(america, window_sizes=WINDOWS, seed=7),
+        }
+
+    data = run_once(benchmark, run)
+    save_result("fig12_vardi_synthetic", data)
+    for region in ("europe", "america"):
+        series = data[region]
+        printable = {int(w): round(float(m), 3) for w, m in zip(series["window_sizes"], series["mre"])}
+        print(f"\n[Fig 12] {region} Vardi MRE vs window (true Poisson data): {printable}")
+        assert series["mre"][-1] < series["mre"][0]
+        # Small windows are far from converged even under the correct model.
+        assert series["mre"][0] > 1.5 * series["mre"][-1]

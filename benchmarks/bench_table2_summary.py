@@ -1,0 +1,32 @@
+"""Table 2 — best-MRE summary of every estimation method on both networks.
+
+The qualitative ordering to reproduce: regularised methods (Bayesian /
+entropy) best, the WCB prior better than the simple gravity prior, fanout
+estimation in between, and the Vardi approach worst.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_result
+from repro.evaluation.experiments import method_comparison, summary_table
+
+
+def test_table2_method_summary(benchmark, europe, america):
+    def run():
+        records = method_comparison(europe) + method_comparison(america)
+        return summary_table(records)
+
+    table = run_once(benchmark, run)
+    save_result("table2_summary", table)
+    print("\n[Table 2] MRE summary (rows: method, columns: europe / america):")
+    for method, row in table.items():
+        eu = row.get("europe", float("nan"))
+        us = row.get("america", float("nan"))
+        print(f"  {method:28s} {eu:6.2f} {us:6.2f}")
+
+    for region in ("europe", "america"):
+        gravity = table["Simple gravity prior"][region]
+        assert table["Entropy w. gravity prior"][region] < gravity
+        assert table["Worst-case bound prior"][region] < gravity
+        assert table["Bayes w. WCB prior"][region] < gravity
+        assert table["Vardi"][region] > table["Entropy w. gravity prior"][region]

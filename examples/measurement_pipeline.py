@@ -1,0 +1,103 @@
+"""End-to-end measurement pipeline: MPLS LSP mesh -> SNMP collection -> estimation.
+
+The paper's key infrastructure insight is that an MPLS-enabled backbone can
+*measure* its traffic matrix directly: every origin-destination demand rides
+its own label-switched path (LSP), and polling the per-LSP byte counters
+every five minutes yields a complete traffic matrix.  This example rebuilds
+that pipeline on a synthetic backbone:
+
+1. generate a synthetic demand process on a random 8-PoP backbone;
+2. signal a full LSP mesh with the CSPF simulator (bandwidth-aware routing);
+3. drive a distributed set of SNMP pollers from the true traffic, with
+   polling jitter and a little UDP loss;
+4. reconstruct the measured traffic matrix and link loads from the collected
+   counters;
+5. compare (a) the measured matrix against the true one and (b) a
+   tomogravity estimate computed from the measured *link loads only*,
+   demonstrating why direct measurement is so much more accurate than
+   inference — and what inference still offers when LSP counters are not
+   available.
+
+Run with::
+
+    python examples/measurement_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimation import EntropyEstimator, EstimationProblem
+from repro.evaluation import mean_relative_error
+from repro.measurement import DistributedCollector, netflow_smoothed_series
+from repro.routing import CSPFRouter, LSPMesh, build_routing_matrix
+from repro.topology import random_backbone
+from repro.traffic import (
+    SyntheticTrafficConfig,
+    SyntheticTrafficModel,
+    base_demand_matrix,
+    european_profile,
+    scaling_law_from_series,
+)
+
+
+def main() -> None:
+    print("1. Generating a synthetic 8-PoP backbone and a busy-hour demand process...")
+    network = random_backbone(8, avg_degree=3.0, seed=7, name="demo")
+    config = SyntheticTrafficConfig(total_traffic_mbps=8_000.0, gravity_distortion=0.9)
+    base = base_demand_matrix(network, config, seed=7)
+    model = SyntheticTrafficModel(network, base, european_profile(), config, seed=8)
+    series = model.generate_series(24, start_time_seconds=18 * 3600)
+    print(f"   {network.num_nodes} PoPs, {network.num_links} links, "
+          f"{network.num_pairs} demands, {len(series)} five-minute snapshots")
+
+    print("2. Signalling the full LSP mesh with CSPF (bandwidth = busy-hour demand)...")
+    router = CSPFRouter(network)
+    mesh = LSPMesh(network, bandwidths=base.to_mapping())
+    paths = router.signal_mesh(mesh)
+    routing = build_routing_matrix(network, paths=paths)
+    reserved = max(router.reservations.utilisation(name) for name in network.link_names)
+    print(f"   routing matrix: {routing.num_links} links x {routing.num_pairs} pairs, "
+          f"rank {routing.rank()}; peak reserved utilisation {reserved:.0%}")
+
+    print("3. Collecting SNMP counters with 3 pollers (2 s jitter, 2% UDP loss)...")
+    collector = DistributedCollector(
+        routing, num_pollers=3, jitter_std_seconds=2.0, loss_probability=0.02, seed=9
+    )
+    collector.collect(series, start_time=18 * 3600)
+
+    print("4. Reconstructing the measured traffic matrix from the LSP counters...")
+    measured = collector.measured_traffic_series()
+    truth = series.mean_matrix()
+    measured_mean = measured.mean_matrix()
+    direct_mre = mean_relative_error(measured_mean, truth)
+    print(f"   MRE of the directly measured matrix: {direct_mre:.4f}")
+
+    law = scaling_law_from_series(measured)
+    netflow = netflow_smoothed_series(series, mean_flow_duration_seconds=3600.0, seed=10)
+    netflow_law = scaling_law_from_series(netflow)
+    print(f"   mean-variance exponent c: direct measurement {law.c:.2f}, "
+          f"NetFlow-style aggregation {netflow_law.c:.2f} "
+          "(aggregation suppresses the within-flow variability)")
+
+    print("5. Estimating the matrix from the measured link loads only (tomogravity)...")
+    problem = EstimationProblem(
+        routing=routing,
+        link_loads=collector.measured_link_loads().mean(axis=0),
+        origin_totals=measured_mean.origin_totals(),
+        destination_totals=measured_mean.destination_totals(),
+    )
+    estimate = EntropyEstimator(regularization=1000.0).estimate(problem)
+    inferred_mre = mean_relative_error(estimate.estimate, truth)
+    print(f"   MRE of the link-load-only estimate: {inferred_mre:.3f}")
+
+    print(
+        f"\nDirect LSP measurement is ~{inferred_mre / max(direct_mre, 1e-9):.0f}x more accurate "
+        "than tomographic inference on this scenario — the reason the paper's "
+        "measured traffic matrices are such a valuable evaluation asset, and why "
+        "estimation is still needed wherever per-LSP counters are unavailable."
+    )
+
+
+if __name__ == "__main__":
+    main()

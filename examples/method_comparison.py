@@ -1,0 +1,71 @@
+"""Compare every estimation method on both reference networks (paper Table 2).
+
+The script reproduces the paper's summary comparison: for the Europe-like
+and America-like scenarios it runs
+
+* the simple gravity model (prior only),
+* the worst-case-bound midpoint prior,
+* the entropy and Bayesian regularised estimators with a gravity prior,
+* the Bayesian estimator with the WCB prior,
+* fanout estimation over a 10-snapshot window, and
+* the Vardi moment-matching approach over the 50-sample busy period,
+
+and prints one MRE per (method, network) cell.  Expect the regularised
+methods to win, the WCB prior to beat the gravity prior, and Vardi to trail
+the field — the ordering reported in the paper.
+
+Run with::
+
+    python examples/method_comparison.py [--skip-america]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets import america_scenario, europe_scenario
+from repro.evaluation import method_comparison, summary_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--skip-america",
+        action="store_true",
+        help="only run the (faster) European scenario",
+    )
+    arguments = parser.parse_args()
+
+    records = []
+    print("Running the method comparison on the Europe-like network...")
+    records += method_comparison(europe_scenario())
+    if not arguments.skip_america:
+        print("Running the method comparison on the America-like network "
+              "(the worst-case bounds solve 1200 linear programs, be patient)...")
+        records += method_comparison(america_scenario())
+
+    table = summary_table(records)
+    scenarios = sorted({record.scenario for record in records})
+    header = "method".ljust(28) + "".join(name.rjust(12) for name in scenarios)
+    print("\nMean relative error over the demands carrying ~90% of traffic:")
+    print(header)
+    print("-" * len(header))
+    for method, row in table.items():
+        cells = "".join(
+            f"{row[name]:12.3f}" if name in row else " " * 12 for name in scenarios
+        )
+        print(method.ljust(28) + cells)
+
+    print(
+        "\nPaper reference (Table 2) — Europe / America: WCB prior 0.10/0.39, "
+        "gravity 0.26/0.78, entropy 0.11/0.22, Bayes 0.08/0.25, "
+        "Bayes+WCB 0.07/0.23, fanout 0.22/0.40, Vardi 0.47/0.98."
+    )
+    print(
+        "Absolute values differ because the underlying traffic is synthetic, "
+        "but the ordering of the methods should match."
+    )
+
+
+if __name__ == "__main__":
+    main()

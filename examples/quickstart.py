@@ -1,0 +1,72 @@
+"""Quickstart: estimate a traffic matrix from link loads and score it.
+
+This example walks through the complete workflow of the library on the
+Europe-like reference scenario:
+
+1. build the scenario (topology + routing + a day of synthetic demand);
+2. form the estimation problem from the *observable* quantities (routing
+   matrix, link loads, edge totals);
+3. run the simple gravity model and the tomogravity (entropy-regularised)
+   estimator;
+4. compare both against the ground truth with the paper's mean relative
+   error (MRE) metric.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import europe_scenario
+from repro.estimation import EntropyEstimator, SimpleGravityEstimator
+from repro.evaluation import demand_ranking_correlation, mean_relative_error
+
+
+def main() -> None:
+    print("Building the Europe-like scenario (12 PoPs, 132 demands, 72 links)...")
+    scenario = europe_scenario()
+    description = scenario.describe()
+    print(
+        f"  PoPs: {description['num_pops']:.0f}, links: {description['num_links']:.0f}, "
+        f"demands: {description['num_pairs']:.0f}, "
+        f"routing-matrix rank: {description['routing_rank']:.0f}"
+    )
+
+    # The ground truth is the busy-period mean traffic matrix; the estimators
+    # only ever see link loads and edge totals derived from it.
+    truth = scenario.busy_mean_matrix()
+    problem = scenario.snapshot_problem(truth)
+    print(f"  busy-period total traffic: {truth.total:.0f} Mbit/s")
+
+    print("\nRunning the simple gravity model (prior only, ignores interior links)...")
+    gravity = SimpleGravityEstimator().estimate(problem)
+    gravity_mre = mean_relative_error(gravity.estimate, truth)
+    print(f"  gravity MRE over the large demands: {gravity_mre:.3f}")
+
+    print("Running tomogravity (entropy-regularised fit with a gravity prior)...")
+    tomogravity = EntropyEstimator(regularization=1000.0, prior="gravity").estimate(problem)
+    tomogravity_mre = mean_relative_error(tomogravity.estimate, truth)
+    print(f"  tomogravity MRE over the large demands: {tomogravity_mre:.3f}")
+    print(f"  link-load residual: {tomogravity.diagnostics['link_residual']:.2e}")
+
+    ranking = demand_ranking_correlation(tomogravity.estimate, truth)
+    print(f"  rank correlation with the true demand sizes: {ranking:.3f}")
+
+    print("\nLargest five demands, true vs. estimated (Mbit/s):")
+    for pair in truth.top_demands(5):
+        print(
+            f"  {str(pair):12s} true {truth.demand(pair):8.1f}   "
+            f"estimated {tomogravity.estimate.demand(pair):8.1f}"
+        )
+
+    improvement = (1.0 - tomogravity_mre / gravity_mre) * 100.0
+    print(
+        f"\nTomogravity improves on the raw gravity prior by {improvement:.0f}% "
+        "on this scenario, matching the paper's qualitative finding that the "
+        "regularised methods give the best results."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Traffic-engineering case study: how estimation errors affect link loads.
+
+The paper motivates traffic-matrix estimation with traffic-engineering tasks
+such as load balancing and failure analysis, and its MRE metric focuses on
+the large demands because those drive link utilisations.  This example makes
+that connection concrete:
+
+1. estimate the Europe-like traffic matrix from link loads (tomogravity,
+   gravity prior);
+2. simulate a link failure and re-route both the *true* and the *estimated*
+   matrix over the surviving topology;
+3. compare the post-failure link utilisations predicted from the estimate
+   against the ones the true matrix produces, and report how far off the
+   estimate-driven planning decision would be;
+4. repeat with the worst-case-bound prior to show how a better prior
+   tightens the utilisation forecast.
+
+Run with::
+
+    python examples/traffic_engineering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import europe_scenario
+from repro.estimation import BayesianEstimator, EntropyEstimator, worst_case_bound_prior
+from repro.evaluation import mean_relative_error
+from repro.routing import build_routing_matrix
+from repro.traffic import TrafficMatrix
+
+
+def utilisations(network, routing, matrix: TrafficMatrix) -> dict[str, float]:
+    """Per-link utilisation (load / capacity) for a traffic matrix."""
+    loads = routing.link_loads(matrix.vector)
+    return {
+        name: load / network.link(name).capacity_mbps
+        for name, load in zip(routing.link_names, loads)
+    }
+
+
+def main() -> None:
+    print("Building the Europe-like scenario and estimating its traffic matrix...")
+    scenario = europe_scenario()
+    network = scenario.network
+    truth = scenario.busy_mean_matrix()
+    problem = scenario.snapshot_problem(truth)
+
+    tomogravity = EntropyEstimator(regularization=1000.0, prior="gravity").estimate(problem)
+    print(f"  tomogravity MRE: {mean_relative_error(tomogravity.estimate, truth):.3f}")
+
+    wcb_prior = worst_case_bound_prior(problem)
+    bayes_wcb = BayesianEstimator(regularization=1000.0, prior=wcb_prior).estimate(problem)
+    print(f"  Bayes + WCB-prior MRE: {mean_relative_error(bayes_wcb.estimate, truth):.3f}")
+
+    # ------------------------------------------------------------------
+    # Failure analysis: take down the most utilised link pair and re-route.
+    # ------------------------------------------------------------------
+    base_util = utilisations(network, scenario.routing, truth)
+    busiest_link = max(base_util, key=base_util.get)
+    failed = {busiest_link, f"{busiest_link.split('->')[1]}->{busiest_link.split('->')[0]}"}
+    print(f"\nSimulating failure of {sorted(failed)} "
+          f"(pre-failure utilisation {base_util[busiest_link]:.0%})...")
+
+    degraded = type(network)("europe-degraded")
+    for node in network.nodes:
+        degraded.add_node(node)
+    for link in network.links:
+        if link.name not in failed:
+            degraded.add_link(link)
+    degraded.validate()
+    degraded_routing = build_routing_matrix(degraded)
+
+    def align(matrix: TrafficMatrix) -> TrafficMatrix:
+        return TrafficMatrix(degraded_routing.pairs, [matrix.demand(p) for p in degraded_routing.pairs])
+
+    true_util = utilisations(degraded, degraded_routing, align(truth))
+    estimated_util = utilisations(degraded, degraded_routing, align(tomogravity.estimate))
+    wcb_util = utilisations(degraded, degraded_routing, align(bayes_wcb.estimate))
+
+    print("\nTen most loaded links after the failure (true vs. predicted utilisation):")
+    print(f"{'link':16s} {'true':>8s} {'tomogravity':>12s} {'bayes+WCB':>10s}")
+    worst = sorted(true_util, key=true_util.get, reverse=True)[:10]
+    for name in worst:
+        print(
+            f"{name:16s} {true_util[name]:8.1%} {estimated_util[name]:12.1%} "
+            f"{wcb_util[name]:10.1%}"
+        )
+
+    def forecast_error(predicted: dict[str, float]) -> float:
+        return float(
+            np.mean([abs(predicted[name] - true_util[name]) for name in worst])
+        )
+
+    print(
+        f"\nMean absolute utilisation-forecast error on those links: "
+        f"tomogravity {forecast_error(estimated_util):.1%}, "
+        f"Bayes+WCB {forecast_error(wcb_util):.1%}"
+    )
+    hot = [name for name in worst if true_util[name] > 0.8]
+    caught = [name for name in hot if estimated_util[name] > 0.8]
+    if hot:
+        print(
+            f"Links that exceed 80% utilisation after the failure: {len(hot)}; "
+            f"the estimate flags {len(caught)} of them — the large-demand accuracy "
+            "the MRE metric targets is exactly what this decision needs."
+        )
+    else:
+        print("No link exceeds 80% utilisation after this failure on the synthetic data.")
+
+
+if __name__ == "__main__":
+    main()

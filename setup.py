@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without PEP 517 editable-install support.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` works on machines whose setuptools
+cannot build editable wheels (e.g. offline hosts without the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

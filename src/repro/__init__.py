@@ -1,0 +1,53 @@
+"""repro — traffic-matrix estimation on a large IP backbone.
+
+A production-oriented reproduction of Gunnar, Johansson & Telkamp,
+"Traffic Matrix Estimation on a Large IP Backbone — A Comparison on Real
+Data" (ACM IMC 2004).  The library provides:
+
+* a backbone topology and MPLS/CSPF routing substrate
+  (:mod:`repro.topology`, :mod:`repro.routing`);
+* traffic-matrix data structures and synthetic demand generators calibrated
+  to the paper's data analysis (:mod:`repro.traffic`);
+* an SNMP/LSP measurement-collection simulation and NetFlow-style
+  aggregation (:mod:`repro.measurement`);
+* every estimation method the paper compares — gravity, Kruithof, entropy,
+  Bayesian, Vardi, Cao, fanout, worst-case bounds, tomography plus direct
+  measurements (:mod:`repro.estimation`);
+* the evaluation framework (MRE metric, figure/table generators)
+  (:mod:`repro.evaluation`) and reference scenarios
+  (:mod:`repro.datasets`).
+
+Quickstart::
+
+    from repro.datasets import europe_scenario
+    from repro.estimation import EntropyEstimator
+    from repro.evaluation import mean_relative_error
+
+    scenario = europe_scenario()
+    problem = scenario.snapshot_problem()
+    estimate = EntropyEstimator(regularization=1000.0).estimate(problem)
+    print(mean_relative_error(estimate.estimate, scenario.busy_mean_matrix()))
+"""
+
+from repro.errors import (
+    EstimationError,
+    MeasurementError,
+    ReproError,
+    RoutingError,
+    SolverError,
+    TopologyError,
+    TrafficError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "TrafficError",
+    "MeasurementError",
+    "EstimationError",
+    "SolverError",
+]

@@ -1,0 +1,18 @@
+"""Reference data sets: Europe-like, America-like and small test scenarios.
+
+The real Global Crossing measurements are proprietary; these deterministic
+synthetic scenarios match the statistics the paper reports (see the module
+documentation of :mod:`repro.datasets.backbone` and DESIGN.md for the full
+substitution argument).
+"""
+
+from repro.datasets.backbone import DEFAULT_SEED, america_scenario, europe_scenario, small_scenario
+from repro.datasets.scenarios import Scenario
+
+__all__ = [
+    "Scenario",
+    "europe_scenario",
+    "america_scenario",
+    "small_scenario",
+    "DEFAULT_SEED",
+]

@@ -1,0 +1,161 @@
+"""Scenario objects bundling a network, its routing and a day of traffic.
+
+A :class:`Scenario` is the unit every benchmark and example works with: it
+ties together
+
+* the topology (:class:`~repro.topology.network.Network`),
+* the routing matrix built by the CSPF/IGP simulator,
+* a 24-hour, five-minute-resolution traffic-matrix series, and
+* the busy-period window used for estimation (the paper uses 250 minutes =
+  50 samples).
+
+From these it derives the observable quantities the estimators are allowed
+to see — link-load snapshots and series, edge-node totals — packaged as
+:class:`~repro.estimation.base.EstimationProblem` objects, and the ground
+truth they are scored against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TrafficError
+from repro.estimation.base import EstimationProblem
+from repro.measurement.linkloads import link_load_series
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.topology.network import Network
+from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSeries
+
+__all__ = ["Scenario"]
+
+
+@dataclass
+class Scenario:
+    """A network plus a measured day of traffic, ready for estimation studies.
+
+    Attributes
+    ----------
+    name:
+        Scenario identifier (e.g. ``"europe"``).
+    network:
+        The backbone topology.
+    routing:
+        Routing matrix over the network's canonical pair order.
+    day_series:
+        24 hours of five-minute traffic matrices (the "measured" LSP data).
+    busy_length:
+        Number of snapshots in the busy-period window (the paper's 50).
+    """
+
+    name: str
+    network: Network
+    routing: RoutingMatrix
+    day_series: TrafficMatrixSeries
+    busy_length: int = 50
+    _busy_series: Optional[TrafficMatrixSeries] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.routing.pairs != self.day_series.pairs:
+            raise TrafficError("routing matrix and traffic series use different pair orderings")
+        if self.busy_length < 2:
+            raise TrafficError("busy_length must be at least 2")
+        if self.busy_length > len(self.day_series):
+            raise TrafficError("busy_length exceeds the length of the day series")
+
+    # ------------------------------------------------------------------
+    # traffic views
+    # ------------------------------------------------------------------
+    def busy_series(self) -> TrafficMatrixSeries:
+        """The busy-period window: the ``busy_length`` busiest consecutive snapshots."""
+        if self._busy_series is None:
+            self._busy_series = self.day_series.busy_window(self.busy_length)
+        return self._busy_series
+
+    def busy_mean_matrix(self) -> TrafficMatrix:
+        """Mean traffic matrix over the busy period (the estimation ground truth)."""
+        return self.busy_series().mean_matrix()
+
+    def busy_snapshot(self, index: int = 0) -> TrafficMatrix:
+        """A single snapshot from the busy period."""
+        return self.busy_series()[index]
+
+    # ------------------------------------------------------------------
+    # observable data / estimation problems
+    # ------------------------------------------------------------------
+    def _edge_totals(self, matrix: TrafficMatrix) -> tuple[dict[str, float], dict[str, float]]:
+        return matrix.origin_totals(), matrix.destination_totals()
+
+    def snapshot_problem(self, matrix: Optional[TrafficMatrix] = None) -> EstimationProblem:
+        """Estimation problem for a single consistent snapshot.
+
+        The default snapshot is the busy-period mean matrix, matching the
+        paper's evaluation of the snapshot methods on the busy hour.  Link
+        loads are computed as ``t = R s`` (the consistent data set of
+        Section 5.1.4), and the edge totals of the same matrix are exposed
+        as the observable ``t_e(n)`` / ``t_x(m)``.
+        """
+        matrix = matrix if matrix is not None else self.busy_mean_matrix()
+        origin_totals, destination_totals = self._edge_totals(matrix)
+        return EstimationProblem(
+            routing=self.routing,
+            link_loads=self.routing.link_loads(matrix.vector),
+            origin_totals=origin_totals,
+            destination_totals=destination_totals,
+        )
+
+    def series_problem(
+        self,
+        series: Optional[TrafficMatrixSeries] = None,
+        window_length: Optional[int] = None,
+    ) -> EstimationProblem:
+        """Estimation problem exposing a link-load time series.
+
+        Used by the fanout and Vardi estimators.  The series defaults to the
+        busy period; ``window_length`` truncates it.  Per-snapshot origin
+        ingress totals are included (they are observable from access links).
+        """
+        series = series if series is not None else self.busy_series()
+        if window_length is not None:
+            series = series.window(0, window_length)
+        loads = link_load_series(self.routing, series)
+        origins = tuple(dict.fromkeys(pair.origin for pair in series.pairs))
+        totals = np.zeros((len(series), len(origins)))
+        for k, snapshot in enumerate(series):
+            origin_totals = snapshot.origin_totals()
+            totals[k] = [origin_totals.get(origin, 0.0) for origin in origins]
+        mean_matrix = series.mean_matrix()
+        origin_totals, destination_totals = self._edge_totals(mean_matrix)
+        return EstimationProblem(
+            routing=self.routing,
+            link_loads=loads.mean(axis=0),
+            link_load_series=loads,
+            origin_totals=origin_totals,
+            destination_totals=destination_totals,
+            origin_totals_series=totals,
+            origin_names=origins,
+        )
+
+    # ------------------------------------------------------------------
+    # descriptive statistics used by the data-analysis figures
+    # ------------------------------------------------------------------
+    def total_traffic_profile(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(timestamps_seconds, normalised_total_traffic)`` for Figure 1."""
+        totals = self.day_series.total_traffic_series()
+        peak = totals.max()
+        if peak <= 0:
+            raise TrafficError("scenario has no traffic")
+        return self.day_series.timestamps(), totals / peak
+
+    def describe(self) -> dict[str, float]:
+        """Headline scenario numbers (PoPs, links, demands, traffic volume)."""
+        busy = self.busy_mean_matrix()
+        return {
+            "num_pops": float(self.network.num_nodes),
+            "num_links": float(self.network.num_links),
+            "num_pairs": float(self.network.num_pairs),
+            "busy_total_traffic": busy.total,
+            "routing_rank": float(self.routing.rank()),
+        }

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` traffic-matrix estimation library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the library can catch a single base class.  More
+specific subclasses communicate *which* subsystem rejected the input: the
+topology model, the routing substrate, the traffic/measurement generators,
+the numerical solvers or the estimation methods themselves.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a network topology is malformed or inconsistent.
+
+    Examples include duplicate node or link identifiers, links referencing
+    unknown nodes, non-positive capacities, or attempts to extract a region
+    that contains no nodes.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised when routing cannot be computed.
+
+    Typical causes are a disconnected topology (no path between a source and
+    destination that must communicate), a CSPF request that cannot be placed
+    because no path has the required free bandwidth, or an attempt to build a
+    routing matrix from paths that traverse unknown links.
+    """
+
+
+class TrafficError(ReproError):
+    """Raised when traffic-matrix data is invalid.
+
+    Examples include negative demands, a traffic matrix whose shape does not
+    match the node set of the network, or a time series whose snapshots have
+    inconsistent dimensions.
+    """
+
+
+class MeasurementError(ReproError):
+    """Raised when measured data (link loads, SNMP samples) is inconsistent.
+
+    Examples include a link-load vector whose length does not match the
+    routing matrix, or a polling schedule with a non-positive interval.
+    """
+
+
+class EstimationError(ReproError):
+    """Raised when an estimation method receives invalid input or fails.
+
+    Examples include dimension mismatches between the routing matrix, the
+    link-load vector and the prior, non-positive regularisation parameters,
+    or an optimisation subproblem that does not converge.
+    """
+
+
+class SolverError(ReproError):
+    """Raised by the numerical substrate when an optimisation problem fails.
+
+    This covers infeasible linear programs, iteration limits being exceeded
+    in the projected-gradient solvers, and singular equality constraints in
+    the quadratic-programming solver.
+    """

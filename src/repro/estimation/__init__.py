@@ -1,0 +1,89 @@
+"""Traffic-matrix estimation methods — the paper's core comparison.
+
+Every method implements the :class:`~repro.estimation.base.Estimator`
+interface and consumes an :class:`~repro.estimation.base.EstimationProblem`:
+
+* :class:`~repro.estimation.gravity.SimpleGravityEstimator` /
+  :class:`~repro.estimation.gravity.GeneralizedGravityEstimator` — gravity
+  models (Section 4.1);
+* :class:`~repro.estimation.kruithof.KruithofEstimator` /
+  :class:`~repro.estimation.kruithof.KLProjectionEstimator` — Kruithof's
+  projection and Krupp's generalisation (Section 4.2.1);
+* :class:`~repro.estimation.entropy.EntropyEstimator` — the
+  entropy-regularised approach of Zhang et al. (Section 4.2.1);
+* :class:`~repro.estimation.bayesian.BayesianEstimator` — regularised
+  least squares / MAP estimation (Section 4.2.3);
+* :class:`~repro.estimation.vardi.VardiEstimator` — Poisson moment matching
+  on a link-load time series (Section 4.2.2);
+* :class:`~repro.estimation.cao.CaoEstimator` — the generalised-linear-model
+  pseudo-EM the paper lists as future work;
+* :class:`~repro.estimation.fanout.FanoutEstimator` — constant-fanout
+  estimation over a measurement window (Section 4.2.4);
+* :class:`~repro.estimation.worstcase.WorstCaseBoundsEstimator` — LP bounds
+  and the WCB midpoint prior (Section 4.3.1);
+* :mod:`~repro.estimation.partial` — combining tomography with direct
+  demand measurements (Section 5.3.6);
+* :class:`~repro.estimation.tomogravity.TomogravityEstimator` — the
+  gravity-prior + regularised-fit pipeline in one call.
+"""
+
+from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.bayesian import BayesianEstimator
+from repro.estimation.cao import CaoEstimator
+from repro.estimation.entropy import EntropyEstimator
+from repro.estimation.fanout import FanoutEstimator
+from repro.estimation.gravity import (
+    GeneralizedGravityEstimator,
+    SimpleGravityEstimator,
+    gravity_vector,
+)
+from repro.estimation.kruithof import KLProjectionEstimator, KruithofEstimator
+from repro.estimation.partial import (
+    DirectMeasurementCombiner,
+    greedy_measurement_selection,
+    largest_demand_selection,
+    reduce_problem,
+)
+from repro.estimation.priors import (
+    gravity_prior,
+    make_prior,
+    uniform_prior,
+    worst_case_bound_prior,
+)
+from repro.estimation.tomogravity import TomogravityEstimator, sweep_regularization
+from repro.estimation.vardi import VardiEstimator, link_load_moments
+from repro.estimation.worstcase import (
+    DemandBounds,
+    WorstCaseBoundsEstimator,
+    worst_case_bounds,
+)
+
+__all__ = [
+    "EstimationProblem",
+    "EstimationResult",
+    "Estimator",
+    "SimpleGravityEstimator",
+    "GeneralizedGravityEstimator",
+    "gravity_vector",
+    "KruithofEstimator",
+    "KLProjectionEstimator",
+    "EntropyEstimator",
+    "BayesianEstimator",
+    "VardiEstimator",
+    "link_load_moments",
+    "CaoEstimator",
+    "FanoutEstimator",
+    "WorstCaseBoundsEstimator",
+    "DemandBounds",
+    "worst_case_bounds",
+    "DirectMeasurementCombiner",
+    "reduce_problem",
+    "greedy_measurement_selection",
+    "largest_demand_selection",
+    "TomogravityEstimator",
+    "sweep_regularization",
+    "uniform_prior",
+    "gravity_prior",
+    "worst_case_bound_prior",
+    "make_prior",
+]

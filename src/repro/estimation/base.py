@@ -1,0 +1,259 @@
+"""Common interfaces of the traffic-matrix estimation methods.
+
+Every method in the paper consumes the same observable data — the routing
+matrix and link-load measurements (a single snapshot or a time series),
+possibly augmented with edge-node totals — and produces an estimated demand
+vector.  This module defines:
+
+* :class:`EstimationProblem` — the immutable bundle of observations handed
+  to an estimator;
+* :class:`EstimationResult` — the estimate plus method metadata and
+  diagnostics;
+* :class:`Estimator` — the abstract interface (``estimate(problem)``)
+  implemented by every method in :mod:`repro.estimation`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.topology.elements import NodePair
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = ["EstimationProblem", "EstimationResult", "Estimator"]
+
+
+@dataclass(frozen=True)
+class EstimationProblem:
+    """Observable inputs to a traffic-matrix estimation method.
+
+    Attributes
+    ----------
+    routing:
+        The routing matrix ``R`` (links x pairs).
+    link_loads:
+        A single snapshot ``t`` of link loads (length ``L``).  Methods that
+        work from a snapshot (gravity, Bayesian, entropy, worst-case bounds)
+        use this field.
+    link_load_series:
+        Optional time series of link loads, shape ``(K, L)``.  Methods that
+        need a series (fanout estimation, Vardi) use this field; when it is
+        present but ``link_loads`` is not, the snapshot defaults to the
+        series mean.
+    origin_totals:
+        Optional per-origin total ingress traffic ``t_e(n)`` for the
+        snapshot.  Gravity models and Kruithof need these; they are
+        observable from the access links of each PoP.
+    destination_totals:
+        Optional per-destination total egress traffic ``t_x(m)``.
+    origin_totals_series:
+        Optional time series of per-origin totals, shape ``(K, N_origins)``,
+        with origins ordered as in ``origin_names``; used by fanout
+        estimation.
+    origin_names:
+        Origin ordering for ``origin_totals_series``.
+    """
+
+    routing: RoutingMatrix
+    link_loads: Optional[np.ndarray] = None
+    link_load_series: Optional[np.ndarray] = None
+    origin_totals: Optional[Mapping[str, float]] = None
+    destination_totals: Optional[Mapping[str, float]] = None
+    origin_totals_series: Optional[np.ndarray] = None
+    origin_names: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        num_links = self.routing.num_links
+        if self.link_loads is not None:
+            loads = np.asarray(self.link_loads, dtype=float)
+            if loads.shape != (num_links,):
+                raise EstimationError(
+                    f"link_loads has shape {loads.shape}, expected ({num_links},)"
+                )
+            if np.any(loads < -1e-9):
+                raise EstimationError("link loads must be non-negative")
+            object.__setattr__(self, "link_loads", np.maximum(loads, 0.0))
+        if self.link_load_series is not None:
+            series = np.asarray(self.link_load_series, dtype=float)
+            if series.ndim != 2 or series.shape[1] != num_links:
+                raise EstimationError(
+                    f"link_load_series has shape {series.shape}, expected (K, {num_links})"
+                )
+            if np.any(series < -1e-9):
+                raise EstimationError("link load series must be non-negative")
+            object.__setattr__(self, "link_load_series", np.maximum(series, 0.0))
+        if self.link_loads is None and self.link_load_series is None:
+            raise EstimationError("an estimation problem needs link loads or a series of them")
+        if self.origin_totals_series is not None:
+            if self.origin_names is None:
+                raise EstimationError("origin_totals_series requires origin_names")
+            series = np.asarray(self.origin_totals_series, dtype=float)
+            if series.ndim != 2 or series.shape[1] != len(self.origin_names):
+                raise EstimationError(
+                    "origin_totals_series must have one column per origin name"
+                )
+            object.__setattr__(self, "origin_totals_series", series)
+
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> tuple[NodePair, ...]:
+        """The origin-destination pairs being estimated."""
+        return self.routing.pairs
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of unknown demands."""
+        return self.routing.num_pairs
+
+    @property
+    def snapshot(self) -> np.ndarray:
+        """The link-load snapshot (mean of the series when only a series is given)."""
+        if self.link_loads is not None:
+            return self.link_loads
+        return self.link_load_series.mean(axis=0)
+
+    @property
+    def series(self) -> np.ndarray:
+        """The link-load series, raising if the problem only has a snapshot."""
+        if self.link_load_series is None:
+            raise EstimationError("this problem does not contain a link-load time series")
+        return self.link_load_series
+
+    @property
+    def num_snapshots(self) -> int:
+        """Number of snapshots available (1 when only a single load vector exists)."""
+        if self.link_load_series is None:
+            return 1
+        return self.link_load_series.shape[0]
+
+    def total_traffic(self) -> float:
+        """Total network traffic for the snapshot.
+
+        Uses the origin totals when available (their sum is exactly the
+        total traffic entering the network); otherwise falls back to a
+        routing-aware estimate ``sum(t) / mean path length``, which is exact
+        when all demands traverse the same number of links and a reasonable
+        approximation otherwise.
+        """
+        if self.origin_totals is not None:
+            return float(sum(self.origin_totals.values()))
+        snapshot = self.snapshot
+        path_lengths = self.routing.matrix.sum(axis=0)
+        mean_length = float(path_lengths.mean()) if len(path_lengths) else 1.0
+        if mean_length <= 0:
+            raise EstimationError("routing matrix has empty paths; cannot infer total traffic")
+        return float(snapshot.sum() / mean_length)
+
+    def augmented_system(
+        self,
+        include_origin_totals: bool = True,
+        include_destination_totals: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Routing constraints augmented with edge-total rows.
+
+        The paper's network view includes the access/peering links over
+        which traffic enters and exits, so the observable data also contains
+        the per-node totals ``t_e(n)`` and ``t_x(m)``.  Each total adds one
+        linear constraint: the sum of demands originating at (terminating
+        at) the node equals the measured total.  The worst-case-bound
+        estimator uses this augmented system; other methods may opt in.
+
+        Returns ``(matrix, rhs)`` where ``matrix`` stacks the routing matrix
+        and the requested total rows and ``rhs`` stacks the link-load
+        snapshot and the totals.
+        """
+        rows = [self.routing.matrix]
+        rhs = [self.snapshot]
+        if include_origin_totals and self.origin_totals is not None:
+            origins = list(dict.fromkeys(pair.origin for pair in self.pairs))
+            block = np.zeros((len(origins), self.num_pairs))
+            for col, pair in enumerate(self.pairs):
+                block[origins.index(pair.origin), col] = 1.0
+            rows.append(block)
+            rhs.append(np.array([self.origin_totals.get(origin, 0.0) for origin in origins]))
+        if include_destination_totals and self.destination_totals is not None:
+            destinations = list(dict.fromkeys(pair.destination for pair in self.pairs))
+            block = np.zeros((len(destinations), self.num_pairs))
+            for col, pair in enumerate(self.pairs):
+                block[destinations.index(pair.destination), col] = 1.0
+            rows.append(block)
+            rhs.append(
+                np.array([self.destination_totals.get(dest, 0.0) for dest in destinations])
+            )
+        return np.vstack(rows), np.concatenate(rhs)
+
+    def with_snapshot(self, link_loads: np.ndarray) -> "EstimationProblem":
+        """Return a copy of the problem with a different load snapshot."""
+        return EstimationProblem(
+            routing=self.routing,
+            link_loads=np.asarray(link_loads, dtype=float),
+            link_load_series=self.link_load_series,
+            origin_totals=self.origin_totals,
+            destination_totals=self.destination_totals,
+            origin_totals_series=self.origin_totals_series,
+            origin_names=self.origin_names,
+        )
+
+
+@dataclass(frozen=True)
+class EstimationResult:
+    """Outcome of running one estimation method.
+
+    Attributes
+    ----------
+    estimate:
+        The estimated traffic matrix.
+    method:
+        Human-readable method name (e.g. ``"bayesian"``).
+    diagnostics:
+        Free-form numeric diagnostics: residual norms, iteration counts,
+        chosen regularisation parameters, per-pair bounds, ...
+    """
+
+    estimate: TrafficMatrix
+    method: str
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def vector(self) -> np.ndarray:
+        """The estimated demand vector."""
+        return self.estimate.vector
+
+    def residual_norm(self, problem: EstimationProblem) -> float:
+        """``||R s_hat - t||_2`` of the estimate against the problem snapshot."""
+        return float(np.linalg.norm(problem.routing.link_loads(self.vector) - problem.snapshot))
+
+
+class Estimator(abc.ABC):
+    """Abstract base class of all traffic-matrix estimation methods."""
+
+    #: Short identifier used in result objects and summary tables.
+    name: str = "estimator"
+
+    @abc.abstractmethod
+    def estimate(self, problem: EstimationProblem) -> EstimationResult:
+        """Estimate the traffic matrix for ``problem``."""
+
+    def __call__(self, problem: EstimationProblem) -> EstimationResult:
+        return self.estimate(problem)
+
+    def _result(
+        self,
+        problem: EstimationProblem,
+        values: np.ndarray,
+        **diagnostics: Any,
+    ) -> EstimationResult:
+        """Package a demand vector into an :class:`EstimationResult`."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (problem.num_pairs,):
+            raise EstimationError(
+                f"{self.name} produced {values.shape} values for {problem.num_pairs} pairs"
+            )
+        matrix = TrafficMatrix(problem.pairs, np.maximum(values, 0.0))
+        return EstimationResult(estimate=matrix, method=self.name, diagnostics=dict(diagnostics))

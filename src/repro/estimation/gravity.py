@@ -1,0 +1,145 @@
+"""Gravity models for traffic-matrix estimation (paper Section 4.1).
+
+The simple gravity model predicts the demand from node ``n`` to node ``m``
+as proportional to the product of the total traffic entering the network at
+``n`` and the total traffic exiting at ``m``:
+
+    ``s_nm = C * t_e(n) * t_x(m)``
+
+with ``C`` chosen so the estimated total equals the measured total traffic.
+With ``C = 1 / sum_m t_x(m)`` this is equivalent to the fanout model
+``alpha_nm = t_x(m) / sum_m t_x(m)``.
+
+The generalised gravity model additionally forces demands between two
+peering nodes to zero; the paper focuses on the simple model because the
+peering information of the measured network was not available, but the
+generalised form is implemented here for completeness.
+
+Gravity estimates ignore the interior link loads entirely and are generally
+*not* consistent with them; they are most useful as the prior of the
+regularised estimators (tomogravity).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.topology.elements import NodeRole
+from repro.topology.network import Network
+
+__all__ = ["SimpleGravityEstimator", "GeneralizedGravityEstimator", "gravity_vector"]
+
+
+def _edge_totals(problem: EstimationProblem) -> tuple[dict[str, float], dict[str, float]]:
+    """Origin and destination totals, which the gravity model requires."""
+    if problem.origin_totals is None or problem.destination_totals is None:
+        raise EstimationError(
+            "gravity estimation requires origin_totals and destination_totals "
+            "(the edge-link measurements t_e(n) and t_x(m))"
+        )
+    origins = {pair.origin for pair in problem.pairs}
+    destinations = {pair.destination for pair in problem.pairs}
+    missing_origins = origins - set(problem.origin_totals)
+    missing_destinations = destinations - set(problem.destination_totals)
+    if missing_origins:
+        raise EstimationError(f"origin totals missing for {sorted(missing_origins)}")
+    if missing_destinations:
+        raise EstimationError(f"destination totals missing for {sorted(missing_destinations)}")
+    return dict(problem.origin_totals), dict(problem.destination_totals)
+
+
+def gravity_vector(
+    problem: EstimationProblem,
+    excluded_pairs: Optional[set] = None,
+) -> np.ndarray:
+    """Raw (unnormalised-then-rescaled) gravity estimate as a demand vector.
+
+    Parameters
+    ----------
+    problem:
+        The estimation problem; its edge totals drive the model.
+    excluded_pairs:
+        Pairs forced to zero (the peering-to-peering exclusions of the
+        generalised model).
+
+    The result is scaled so its total equals the measured total traffic
+    (the sum of the origin totals).
+    """
+    origin_totals, destination_totals = _edge_totals(problem)
+    excluded_pairs = excluded_pairs or set()
+    values = np.array(
+        [
+            0.0
+            if pair in excluded_pairs
+            else origin_totals[pair.origin] * destination_totals[pair.destination]
+            for pair in problem.pairs
+        ]
+    )
+    total = values.sum()
+    measured_total = float(sum(origin_totals.values()))
+    if total <= 0:
+        if measured_total > 0:
+            raise EstimationError("gravity model produced a zero matrix for non-zero traffic")
+        return np.zeros(len(problem.pairs))
+    return values * (measured_total / total)
+
+
+class SimpleGravityEstimator(Estimator):
+    """The simple gravity model ``s_nm = C t_e(n) t_x(m)``."""
+
+    name = "gravity"
+
+    def estimate(self, problem: EstimationProblem) -> EstimationResult:
+        """Estimate demands from edge totals only (interior links are ignored)."""
+        values = gravity_vector(problem)
+        return self._result(problem, values, normalisation_total=float(values.sum()))
+
+
+class GeneralizedGravityEstimator(Estimator):
+    """Gravity model with peer-to-peer demands forced to zero.
+
+    Parameters
+    ----------
+    network:
+        Network whose node roles identify the peering PoPs.  Alternatively
+        ``peering_nodes`` can be given explicitly.
+    peering_nodes:
+        Explicit set of peering node names (overrides the network roles).
+    """
+
+    name = "generalized-gravity"
+
+    def __init__(
+        self,
+        network: Optional[Network] = None,
+        peering_nodes: Optional[set[str]] = None,
+    ) -> None:
+        if network is None and peering_nodes is None:
+            raise EstimationError(
+                "generalised gravity needs a network or an explicit peering node set"
+            )
+        if peering_nodes is not None:
+            self.peering_nodes = set(peering_nodes)
+        else:
+            self.peering_nodes = {
+                node.name for node in network.nodes if node.role is NodeRole.PEERING
+            }
+
+    def estimate(self, problem: EstimationProblem) -> EstimationResult:
+        """Estimate demands, zeroing every peer-to-peer pair."""
+        excluded = {
+            pair
+            for pair in problem.pairs
+            if pair.origin in self.peering_nodes and pair.destination in self.peering_nodes
+        }
+        values = gravity_vector(problem, excluded_pairs=excluded)
+        return self._result(
+            problem,
+            values,
+            excluded_pairs=len(excluded),
+            normalisation_total=float(values.sum()),
+        )

@@ -1,0 +1,229 @@
+"""SNMP polling simulation.
+
+Section 5.1.2 of the paper describes the collection infrastructure: SNMP
+counters for every link and LSP are polled every five minutes at fixed
+timestamps; because SNMP runs over unreliable UDP some samples are lost, the
+exact response time of each router varies slightly, and the reported byte
+counts are converted to rates using the *actual* measurement interval (e.g.
+"5 minutes and 3 seconds") so that the time series stays uniform.
+
+This module models that pipeline for a single poller:
+
+* :class:`CounterState` — a monotonically increasing 64-bit byte counter for
+  one measured object (link or LSP), advanced by the true traffic process;
+* :class:`SNMPPoller` — polls a set of counters on a fixed schedule with
+  per-poll jitter and optional UDP loss, producing :class:`PollResult`
+  records with interval-adjusted rates;
+* :func:`rates_from_polls` — turns consecutive poll results into the rate
+  samples the estimation pipeline consumes, interpolating over lost polls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["CounterState", "PollResult", "SNMPPoller", "rates_from_polls"]
+
+_COUNTER64_WRAP = 2**64
+
+
+@dataclass
+class CounterState:
+    """A monotonically increasing byte counter for one measured object.
+
+    Parameters
+    ----------
+    name:
+        Object identifier (a link or LSP name).
+    value_bytes:
+        Current counter value; wraps modulo 2**64 like a Counter64 MIB object.
+    """
+
+    name: str
+    value_bytes: int = 0
+
+    def advance(self, rate_mbps: float, duration_seconds: float) -> None:
+        """Advance the counter by ``rate_mbps`` sustained for ``duration_seconds``."""
+        if rate_mbps < 0:
+            raise MeasurementError(f"counter {self.name!r} advanced with negative rate")
+        if duration_seconds < 0:
+            raise MeasurementError("duration must be non-negative")
+        added_bytes = int(round(rate_mbps * 1e6 / 8.0 * duration_seconds))
+        self.value_bytes = (self.value_bytes + added_bytes) % _COUNTER64_WRAP
+
+
+@dataclass(frozen=True)
+class PollResult:
+    """Outcome of polling one object at one scheduled timestamp.
+
+    Attributes
+    ----------
+    object_name:
+        The polled link/LSP.
+    scheduled_time:
+        Nominal poll timestamp (e.g. 09:05:00) in seconds.
+    response_time:
+        Actual response time including jitter, in seconds.
+    counter_bytes:
+        The counter value read, or ``None`` when the poll was lost (UDP).
+    """
+
+    object_name: str
+    scheduled_time: float
+    response_time: float
+    counter_bytes: Optional[int]
+
+    @property
+    def lost(self) -> bool:
+        """Whether this poll produced no data."""
+        return self.counter_bytes is None
+
+
+class SNMPPoller:
+    """Simulates one SNMP poller and its polling schedule.
+
+    Parameters
+    ----------
+    object_names:
+        Names of the measured objects (links or LSPs).
+    interval_seconds:
+        Nominal polling interval (the paper uses 300 s).
+    jitter_std_seconds:
+        Standard deviation of the response-time jitter around the scheduled
+        timestamp.
+    loss_probability:
+        Probability that an individual poll is lost (SNMP over UDP).
+    seed:
+        Seed of the internal random generator.
+    """
+
+    def __init__(
+        self,
+        object_names: Sequence[str],
+        interval_seconds: float = 300.0,
+        jitter_std_seconds: float = 2.0,
+        loss_probability: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not object_names:
+            raise MeasurementError("poller needs at least one object to poll")
+        if len(set(object_names)) != len(object_names):
+            raise MeasurementError("duplicate object names")
+        if interval_seconds <= 0:
+            raise MeasurementError("interval_seconds must be positive")
+        if jitter_std_seconds < 0:
+            raise MeasurementError("jitter_std_seconds must be non-negative")
+        if not 0 <= loss_probability < 1:
+            raise MeasurementError("loss_probability must lie in [0, 1)")
+        self.object_names = tuple(object_names)
+        self.interval_seconds = float(interval_seconds)
+        self.jitter_std_seconds = float(jitter_std_seconds)
+        self.loss_probability = float(loss_probability)
+        self._rng = np.random.default_rng(seed)
+        self._counters = {name: CounterState(name) for name in self.object_names}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> CounterState:
+        """The counter state of ``name`` (for tests and advanced use)."""
+        try:
+            return self._counters[name]
+        except KeyError as exc:
+            raise MeasurementError(f"poller does not track object {name!r}") from exc
+
+    def advance_counters(self, rates_mbps: Mapping[str, float], duration_seconds: float) -> None:
+        """Advance every tracked counter with the given sustained rates."""
+        for name in self.object_names:
+            self._counters[name].advance(float(rates_mbps.get(name, 0.0)), duration_seconds)
+
+    def poll(self, scheduled_time: float) -> list[PollResult]:
+        """Poll every object once at ``scheduled_time``.
+
+        Returns one :class:`PollResult` per object; lost polls have
+        ``counter_bytes = None``.
+        """
+        results = []
+        for name in self.object_names:
+            jitter = abs(float(self._rng.normal(scale=self.jitter_std_seconds)))
+            lost = bool(self._rng.random() < self.loss_probability)
+            results.append(
+                PollResult(
+                    object_name=name,
+                    scheduled_time=scheduled_time,
+                    response_time=scheduled_time + jitter,
+                    counter_bytes=None if lost else self._counters[name].value_bytes,
+                )
+            )
+        return results
+
+    def run_schedule(
+        self,
+        rate_series_mbps: Sequence[Mapping[str, float]],
+        start_time: float = 0.0,
+    ) -> list[list[PollResult]]:
+        """Drive the counters with a rate series and poll after every interval.
+
+        ``rate_series_mbps[k]`` is the sustained per-object rate during the
+        ``k``-th interval.  The returned list has one poll round per interval
+        boundary, *including* an initial poll at ``start_time`` so that rates
+        can be derived from consecutive counter differences.
+        """
+        rounds = [self.poll(start_time)]
+        for k, rates in enumerate(rate_series_mbps):
+            self.advance_counters(rates, self.interval_seconds)
+            rounds.append(self.poll(start_time + (k + 1) * self.interval_seconds))
+        return rounds
+
+
+def rates_from_polls(
+    poll_rounds: Sequence[Sequence[PollResult]],
+    object_names: Sequence[str],
+) -> np.ndarray:
+    """Convert consecutive poll rounds into interval rates in Mbit/s.
+
+    The rate of object ``o`` during interval ``k`` is the counter difference
+    between round ``k+1`` and round ``k`` divided by the *actual* elapsed
+    time between the two responses — the interval-length adjustment the
+    paper describes.  When either poll was lost the rate is linearly
+    interpolated from the nearest valid samples of the same object (constant
+    extrapolation at the boundaries).
+
+    Returns an array of shape ``(K, num_objects)`` for ``K + 1`` poll rounds.
+    """
+    if len(poll_rounds) < 2:
+        raise MeasurementError("need at least two poll rounds to derive rates")
+    name_index = {name: idx for idx, name in enumerate(object_names)}
+    num_intervals = len(poll_rounds) - 1
+    rates = np.full((num_intervals, len(object_names)), np.nan)
+
+    by_round: list[dict[str, PollResult]] = []
+    for round_results in poll_rounds:
+        indexed = {result.object_name: result for result in round_results}
+        missing = set(object_names) - set(indexed)
+        if missing:
+            raise MeasurementError(f"poll round missing objects: {sorted(missing)}")
+        by_round.append(indexed)
+
+    for name, col in name_index.items():
+        for k in range(num_intervals):
+            first, second = by_round[k][name], by_round[k + 1][name]
+            if first.lost or second.lost:
+                continue
+            elapsed = second.response_time - first.response_time
+            if elapsed <= 0:
+                continue
+            delta = (second.counter_bytes - first.counter_bytes) % _COUNTER64_WRAP
+            rates[k, col] = delta * 8.0 / 1e6 / elapsed
+        column = rates[:, col]
+        valid = ~np.isnan(column)
+        if not valid.any():
+            raise MeasurementError(f"all polls lost for object {name!r}")
+        if not valid.all():
+            indices = np.arange(num_intervals)
+            column[~valid] = np.interp(indices[~valid], indices[valid], column[valid])
+            rates[:, col] = column
+    return rates

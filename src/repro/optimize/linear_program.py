@@ -1,0 +1,129 @@
+"""Linear programming wrapper used by the worst-case-bound estimator.
+
+The worst-case bounds of the paper (Section 4.3.1) solve, for every
+origin-destination pair ``p``, the two linear programs
+
+    maximise / minimise ``s_p``  subject to ``R s = t``, ``s >= 0``.
+
+This module wraps SciPy's HiGHS solver behind a small interface that
+
+* accepts the problem in exactly that form,
+* normalises infeasibility / unboundedness into
+  :class:`~repro.errors.SolverError`, and
+* exposes a convenience :func:`bound_variable` that returns both the lower
+  and upper bound of one coordinate in a single call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.optimize
+
+from repro.errors import SolverError
+
+__all__ = ["LPResult", "solve_linear_program", "bound_variable"]
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Solution of one linear program.
+
+    Attributes
+    ----------
+    x:
+        Optimal point.
+    objective:
+        Optimal objective value (in the *original* sense — maximisation
+        results are reported as the maximum, not its negation).
+    status:
+        Human-readable solver status.
+    """
+
+    x: np.ndarray
+    objective: float
+    status: str
+
+
+def solve_linear_program(
+    cost: np.ndarray,
+    equality_matrix: Optional[np.ndarray] = None,
+    equality_rhs: Optional[np.ndarray] = None,
+    upper_bounds: Optional[np.ndarray] = None,
+    maximise: bool = False,
+) -> LPResult:
+    """Solve ``min/max cost @ x`` s.t. ``equality_matrix @ x = equality_rhs``, ``0 <= x <= ub``.
+
+    Parameters
+    ----------
+    cost:
+        Objective coefficients.
+    equality_matrix, equality_rhs:
+        Equality constraints (may be omitted together).
+    upper_bounds:
+        Optional per-variable upper bounds (``None`` entries mean unbounded).
+    maximise:
+        Maximise instead of minimise.
+
+    Raises
+    ------
+    SolverError
+        On infeasible, unbounded or otherwise failed problems.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 1:
+        raise SolverError("cost must be a one-dimensional array")
+    if (equality_matrix is None) != (equality_rhs is None):
+        raise SolverError("equality_matrix and equality_rhs must be given together")
+    if equality_matrix is not None:
+        equality_matrix = np.asarray(equality_matrix, dtype=float)
+        equality_rhs = np.asarray(equality_rhs, dtype=float)
+        if equality_matrix.shape != (len(equality_rhs), len(cost)):
+            raise SolverError(
+                f"equality matrix shape {equality_matrix.shape} inconsistent with "
+                f"{len(equality_rhs)} constraints and {len(cost)} variables"
+            )
+    if upper_bounds is None:
+        bounds = [(0.0, None)] * len(cost)
+    else:
+        upper_bounds = np.asarray(upper_bounds, dtype=float)
+        if upper_bounds.shape != cost.shape:
+            raise SolverError("upper_bounds must match the number of variables")
+        bounds = [(0.0, float(ub) if np.isfinite(ub) else None) for ub in upper_bounds]
+
+    sign = -1.0 if maximise else 1.0
+    outcome = scipy.optimize.linprog(
+        c=sign * cost,
+        A_eq=equality_matrix,
+        b_eq=equality_rhs,
+        bounds=bounds,
+        method="highs",
+    )
+    if not outcome.success:
+        raise SolverError(f"linear program failed: {outcome.message}")
+    return LPResult(x=np.asarray(outcome.x), objective=float(sign * outcome.fun), status=outcome.message)
+
+
+def bound_variable(
+    index: int,
+    equality_matrix: np.ndarray,
+    equality_rhs: np.ndarray,
+    num_variables: Optional[int] = None,
+) -> tuple[float, float]:
+    """Lower and upper bound of coordinate ``index`` over ``{x >= 0 : A x = b}``.
+
+    Returns ``(lower, upper)``.  This is exactly the per-demand bound pair of
+    the paper's worst-case-bound method.
+    """
+    equality_matrix = np.asarray(equality_matrix, dtype=float)
+    if num_variables is None:
+        num_variables = equality_matrix.shape[1]
+    if not 0 <= index < num_variables:
+        raise SolverError(f"variable index {index} out of range for {num_variables} variables")
+    cost = np.zeros(num_variables)
+    cost[index] = 1.0
+    lower = solve_linear_program(cost, equality_matrix, equality_rhs, maximise=False)
+    upper = solve_linear_program(cost, equality_matrix, equality_rhs, maximise=True)
+    return lower.objective, upper.objective

@@ -1,0 +1,38 @@
+"""Routing substrate: IGP shortest path, CSPF/MPLS simulation, routing matrices.
+
+The estimation problem ``R s = t`` needs the routing matrix ``R``; the paper
+obtains it by simulating the CSPF routing of the MPLS LSP mesh.  This package
+provides:
+
+* :class:`~repro.routing.shortest_path.ShortestPathRouter` — IGP (Dijkstra)
+  routing with deterministic tie-breaking and ECMP enumeration;
+* :class:`~repro.routing.lsp.LSPMesh` and
+  :class:`~repro.routing.lsp.ReservationState` — the MPLS tunnel mesh and
+  RSVP-style bandwidth bookkeeping;
+* :class:`~repro.routing.cspf.CSPFRouter` — constraint-based routing of the
+  mesh;
+* :class:`~repro.routing.routing_matrix.RoutingMatrix` and the builders
+  :func:`~repro.routing.routing_matrix.build_routing_matrix` /
+  :func:`~repro.routing.routing_matrix.build_ecmp_routing_matrix`.
+"""
+
+from repro.routing.cspf import CSPFRouter
+from repro.routing.lsp import LSP, LSPMesh, ReservationState
+from repro.routing.routing_matrix import (
+    RoutingMatrix,
+    build_ecmp_routing_matrix,
+    build_routing_matrix,
+)
+from repro.routing.shortest_path import Path, ShortestPathRouter
+
+__all__ = [
+    "Path",
+    "ShortestPathRouter",
+    "LSP",
+    "LSPMesh",
+    "ReservationState",
+    "CSPFRouter",
+    "RoutingMatrix",
+    "build_routing_matrix",
+    "build_ecmp_routing_matrix",
+]

@@ -1,0 +1,199 @@
+"""Construction of the routing matrix ``R`` from routed paths.
+
+The routing matrix is the central object of the estimation problem
+``R s = t`` (paper Eq. 1-2): ``R`` has one row per directed link and one
+column per origin-destination pair; entry ``r_lp`` is 1 when the demand of
+pair ``p`` traverses link ``l`` (or the traversed fraction for multi-path
+routing).
+
+:class:`RoutingMatrix` bundles the NumPy array with the link and pair
+orderings it was built from, so downstream code never has to guess which row
+or column corresponds to which network element.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.cspf import CSPFRouter
+from repro.routing.shortest_path import Path, ShortestPathRouter
+from repro.topology.elements import NodePair
+from repro.topology.network import Network
+
+__all__ = ["RoutingMatrix", "build_routing_matrix", "build_ecmp_routing_matrix"]
+
+
+class RoutingMatrix:
+    """The routing matrix together with its row/column labelling.
+
+    Parameters
+    ----------
+    matrix:
+        Array of shape ``(num_links, num_pairs)`` with entries in [0, 1].
+    link_names:
+        Row labels (canonical link order of the network).
+    pairs:
+        Column labels (canonical origin-destination pair order).
+    network:
+        The network the matrix was built from (kept for convenience).
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        link_names: Sequence[str],
+        pairs: Sequence[NodePair],
+        network: Optional[Network] = None,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise RoutingError("routing matrix must be two-dimensional")
+        if matrix.shape != (len(link_names), len(pairs)):
+            raise RoutingError(
+                f"routing matrix shape {matrix.shape} does not match "
+                f"{len(link_names)} links x {len(pairs)} pairs"
+            )
+        if np.any(matrix < -1e-12) or np.any(matrix > 1 + 1e-12):
+            raise RoutingError("routing matrix entries must lie in [0, 1]")
+        self.matrix = matrix
+        self.link_names = tuple(link_names)
+        self.pairs = tuple(pairs)
+        self.network = network
+        self._pair_index = {pair: idx for idx, pair in enumerate(self.pairs)}
+        self._link_index = {name: idx for idx, name in enumerate(self.link_names)}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        """Number of rows (directed links)."""
+        return self.matrix.shape[0]
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of columns (origin-destination pairs)."""
+        return self.matrix.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(num_links, num_pairs)``."""
+        return self.matrix.shape
+
+    def pair_index(self, pair: NodePair) -> int:
+        """Column index of ``pair``."""
+        try:
+            return self._pair_index[pair]
+        except KeyError as exc:
+            raise RoutingError(f"pair {pair} not present in routing matrix") from exc
+
+    def link_row(self, link_name: str) -> np.ndarray:
+        """Row of the matrix for ``link_name``."""
+        try:
+            return self.matrix[self._link_index[link_name]]
+        except KeyError as exc:
+            raise RoutingError(f"link {link_name!r} not present in routing matrix") from exc
+
+    def pair_column(self, pair: NodePair) -> np.ndarray:
+        """Column of the matrix for ``pair`` (the links it traverses)."""
+        return self.matrix[:, self.pair_index(pair)]
+
+    def link_loads(self, demands: np.ndarray) -> np.ndarray:
+        """Compute ``t = R s`` for a demand vector ``s``.
+
+        This is how the paper constructs its consistent evaluation data set
+        (Section 5.1.4): link loads are computed from the measured demands
+        and the simulated routing, not measured separately.
+        """
+        demands = np.asarray(demands, dtype=float)
+        if demands.shape != (self.num_pairs,):
+            raise RoutingError(
+                f"demand vector has shape {demands.shape}, expected ({self.num_pairs},)"
+            )
+        return self.matrix @ demands
+
+    def rank(self) -> int:
+        """Numerical rank of the routing matrix.
+
+        The estimation problem is under-determined whenever the rank is
+        smaller than the number of pairs, which is the normal situation in
+        backbones (many more pairs than links).
+        """
+        return int(np.linalg.matrix_rank(self.matrix))
+
+    def nullity(self) -> int:
+        """Dimension of the null space, i.e. the degrees of freedom left free."""
+        return self.num_pairs - self.rank()
+
+    def is_underdetermined(self) -> bool:
+        """Whether ``R s = t`` has infinitely many non-negative candidates."""
+        return self.rank() < self.num_pairs
+
+    def path_length(self, pair: NodePair) -> float:
+        """Number of links (possibly fractional for ECMP) used by ``pair``."""
+        return float(self.pair_column(pair).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoutingMatrix(links={self.num_links}, pairs={self.num_pairs}, rank={self.rank()})"
+
+
+def build_routing_matrix(
+    network: Network,
+    paths: Optional[Mapping[NodePair, Path]] = None,
+    use_cspf: bool = False,
+    bandwidths: Optional[Mapping[NodePair, float]] = None,
+) -> RoutingMatrix:
+    """Build the 0/1 single-path routing matrix for ``network``.
+
+    Parameters
+    ----------
+    network:
+        The topology.  Its canonical link and pair orderings become the row
+        and column orderings of the matrix.
+    paths:
+        Pre-computed paths per pair.  When omitted, paths are computed with
+        plain shortest-path routing or, if ``use_cspf`` is set, with the
+        CSPF simulator and the given ``bandwidths``.
+    use_cspf:
+        Route with :class:`~repro.routing.cspf.CSPFRouter` instead of plain
+        Dijkstra.
+    bandwidths:
+        LSP bandwidth values used by CSPF (ignored otherwise).
+    """
+    pairs = network.node_pairs()
+    if paths is None:
+        if use_cspf:
+            router = CSPFRouter(network)
+            paths = router.route_all(bandwidths=dict(bandwidths or {}))
+        else:
+            paths = ShortestPathRouter(network).route_all(pairs)
+    missing = [pair for pair in pairs if pair not in paths]
+    if missing:
+        raise RoutingError(f"missing paths for pairs: {[str(p) for p in missing[:5]]}")
+
+    matrix = np.zeros((network.num_links, len(pairs)))
+    for col, pair in enumerate(pairs):
+        for link in paths[pair].links:
+            matrix[network.link_index(link.name), col] = 1.0
+    return RoutingMatrix(matrix, network.link_names, pairs, network=network)
+
+
+def build_ecmp_routing_matrix(network: Network) -> RoutingMatrix:
+    """Build a fractional routing matrix with even ECMP splitting.
+
+    Every equal-cost shortest path of a pair carries ``1/k`` of the demand,
+    where ``k`` is the number of such paths.  The paper notes that the
+    formulation extends to this case by allowing fractional entries in
+    ``R``; this builder exists to exercise that extension.
+    """
+    pairs = network.node_pairs()
+    router = ShortestPathRouter(network)
+    matrix = np.zeros((network.num_links, len(pairs)))
+    for col, pair in enumerate(pairs):
+        ecmp_paths = router.all_shortest_paths(pair)
+        share = 1.0 / len(ecmp_paths)
+        for path in ecmp_paths:
+            for link in path.links:
+                matrix[network.link_index(link.name), col] += share
+    return RoutingMatrix(matrix, network.link_names, pairs, network=network)

@@ -1,0 +1,218 @@
+"""Shortest-path (IGP) routing over a :class:`~repro.topology.network.Network`.
+
+The paper assumes single-path routing for each demand (its routing matrix is
+0/1) but notes that fractional routing matrices cover multi-path cases.  This
+module provides both:
+
+* :class:`ShortestPathRouter` — Dijkstra routing on link metrics, producing a
+  single path per origin-destination pair with deterministic tie-breaking;
+* equal-cost multi-path (ECMP) enumeration via
+  :meth:`ShortestPathRouter.all_shortest_paths`, used by the fractional
+  routing-matrix builder.
+
+Paths are represented as :class:`Path` objects carrying both the node
+sequence and the link sequence, which is what the routing-matrix builder
+needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import RoutingError
+from repro.topology.elements import Link, NodePair
+from repro.topology.network import Network
+
+__all__ = ["Path", "ShortestPathRouter"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A routed path through the network.
+
+    Attributes
+    ----------
+    pair:
+        The origin-destination pair this path serves.
+    nodes:
+        Node names from origin to destination, inclusive.
+    links:
+        The directed links traversed, in order.
+    cost:
+        Total metric of the path.
+    """
+
+    pair: NodePair
+    nodes: tuple[str, ...]
+    links: tuple[Link, ...]
+    cost: float
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise RoutingError(f"path for {self.pair} must visit at least two nodes")
+        if len(self.links) != len(self.nodes) - 1:
+            raise RoutingError(
+                f"path for {self.pair} has {len(self.links)} links "
+                f"but {len(self.nodes)} nodes"
+            )
+        if self.nodes[0] != self.pair.origin or self.nodes[-1] != self.pair.destination:
+            raise RoutingError(f"path endpoints do not match pair {self.pair}")
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return len(self.links)
+
+    def link_names(self) -> tuple[str, ...]:
+        """Names of the traversed links, in order."""
+        return tuple(link.name for link in self.links)
+
+    def uses_link(self, link_name: str) -> bool:
+        """Return whether the path traverses the named link."""
+        return any(link.name == link_name for link in self.links)
+
+    def bottleneck_capacity(self) -> float:
+        """Smallest capacity along the path in Mbit/s."""
+        return min(link.capacity_mbps for link in self.links)
+
+    def __iter__(self) -> Iterator[Link]:
+        return iter(self.links)
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+
+class ShortestPathRouter:
+    """Dijkstra single-path and ECMP routing on link metrics.
+
+    Parameters
+    ----------
+    network:
+        The topology to route over.
+    metric_attribute:
+        Which link attribute to minimise; ``"metric"`` (default) gives IGP
+        routing, ``"hops"`` gives minimum-hop routing.
+
+    Notes
+    -----
+    Tie-breaking is deterministic: when two paths have equal cost the one
+    whose node sequence is lexicographically smaller wins.  Deterministic
+    routing matters because the routing matrix must be reproducible for the
+    estimation benchmarks.
+    """
+
+    def __init__(self, network: Network, metric_attribute: str = "metric") -> None:
+        if metric_attribute not in ("metric", "hops"):
+            raise RoutingError(
+                f"unsupported metric attribute {metric_attribute!r}; "
+                "expected 'metric' or 'hops'"
+            )
+        self.network = network
+        self.metric_attribute = metric_attribute
+
+    # ------------------------------------------------------------------
+    def _link_cost(self, link: Link) -> float:
+        return 1.0 if self.metric_attribute == "hops" else link.metric
+
+    def shortest_path(self, pair: NodePair) -> Path:
+        """Return the single shortest path for ``pair``.
+
+        Raises
+        ------
+        RoutingError
+            If the destination is unreachable from the origin.
+        """
+        self.network.node(pair.origin)
+        self.network.node(pair.destination)
+
+        # Dijkstra with lexicographic tie-breaking on the node sequence.
+        best_cost: dict[str, float] = {pair.origin: 0.0}
+        best_route: dict[str, tuple[tuple[str, ...], tuple[Link, ...]]] = {
+            pair.origin: ((pair.origin,), ())
+        }
+        heap: list[tuple[float, tuple[str, ...], str]] = [(0.0, (pair.origin,), pair.origin)]
+        visited: set[str] = set()
+        while heap:
+            cost, route_nodes, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == pair.destination:
+                break
+            for link in self.network.outgoing_links(node):
+                next_cost = cost + self._link_cost(link)
+                nodes, links = best_route[node]
+                candidate = (nodes + (link.target,), links + (link,))
+                current = best_cost.get(link.target)
+                if (
+                    current is None
+                    or next_cost < current - 1e-12
+                    or (
+                        abs(next_cost - current) <= 1e-12
+                        and candidate[0] < best_route[link.target][0]
+                    )
+                ):
+                    best_cost[link.target] = next_cost
+                    best_route[link.target] = candidate
+                    heapq.heappush(heap, (next_cost, candidate[0], link.target))
+
+        if pair.destination not in best_route or pair.destination not in best_cost:
+            raise RoutingError(
+                f"no path from {pair.origin!r} to {pair.destination!r} "
+                f"in network {self.network.name!r}"
+            )
+        nodes, links = best_route[pair.destination]
+        if len(nodes) < 2:
+            raise RoutingError(
+                f"no path from {pair.origin!r} to {pair.destination!r} "
+                f"in network {self.network.name!r}"
+            )
+        return Path(pair=pair, nodes=nodes, links=links, cost=best_cost[pair.destination])
+
+    def all_shortest_paths(self, pair: NodePair, tolerance: float = 1e-9) -> tuple[Path, ...]:
+        """Return every equal-cost shortest path for ``pair`` (ECMP set).
+
+        Parameters
+        ----------
+        pair:
+            Origin-destination pair.
+        tolerance:
+            Paths whose cost is within ``tolerance`` of the optimum are
+            considered equal cost.
+        """
+        optimum = self.shortest_path(pair).cost
+        paths: list[Path] = []
+
+        def extend(node: str, nodes: tuple[str, ...], links: tuple[Link, ...], cost: float) -> None:
+            if cost > optimum + tolerance:
+                return
+            if node == pair.destination:
+                paths.append(Path(pair=pair, nodes=nodes, links=links, cost=cost))
+                return
+            for link in self.network.outgoing_links(node):
+                if link.target in nodes:
+                    continue
+                extend(
+                    link.target,
+                    nodes + (link.target,),
+                    links + (link,),
+                    cost + self._link_cost(link),
+                )
+
+        extend(pair.origin, (pair.origin,), (), 0.0)
+        if not paths:
+            raise RoutingError(f"no path found for pair {pair}")
+        paths.sort(key=lambda p: p.nodes)
+        return tuple(paths)
+
+    def route_all(self, pairs: Optional[Sequence[NodePair]] = None) -> dict[NodePair, Path]:
+        """Route every pair (default: all pairs of the network).
+
+        Returns a mapping ordered like the canonical pair enumeration so
+        that downstream consumers can build positional structures from it.
+        """
+        if pairs is None:
+            pairs = self.network.node_pairs()
+        return {pair: self.shortest_path(pair) for pair in pairs}

@@ -1,0 +1,339 @@
+"""The :class:`Network` container tying nodes and links together.
+
+A :class:`Network` is the central topology object consumed by the routing
+substrate (:mod:`repro.routing`), the traffic generators
+(:mod:`repro.traffic`) and the estimation methods.  It maintains
+
+* an ordered collection of :class:`~repro.topology.elements.Node` objects,
+* an ordered collection of directed
+  :class:`~repro.topology.elements.Link` objects,
+* the canonical enumeration of origin-destination
+  :class:`~repro.topology.elements.NodePair` objects used to vectorise the
+  traffic matrix (the paper's ``p = 1..P`` indexing).
+
+Ordering matters: the routing matrix ``R`` (links x pairs) and the demand
+vector ``s`` are both indexed positionally, so the network fixes a single
+canonical order for links and pairs that every other module relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.elements import Link, LinkKind, Node, NodePair, NodeRole
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A directed backbone network of PoPs/routers and links.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name, e.g. ``"europe"`` or ``"america"``.
+    nodes:
+        Iterable of nodes.  Order is preserved and defines node indices.
+    links:
+        Iterable of directed links.  Order is preserved and defines the row
+        order of routing matrices built for this network.
+
+    Notes
+    -----
+    The class intentionally exposes a small, explicit API rather than
+    subclassing :class:`networkx.DiGraph`; a NetworkX view is available via
+    :meth:`to_networkx` for algorithms that want it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Iterable[Node] = (),
+        links: Iterable[Link] = (),
+    ) -> None:
+        if not name:
+            raise TopologyError("network name must be a non-empty string")
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[str, Link] = {}
+        self._link_index: dict[str, int] = {}
+        self._adjacency: dict[str, list[Link]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for link in links:
+            self.add_link(link)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add a node, rejecting duplicates."""
+        if node.name in self._nodes:
+            raise TopologyError(f"duplicate node {node.name!r}")
+        self._nodes[node.name] = node
+        self._adjacency.setdefault(node.name, [])
+
+    def add_link(self, link: Link) -> None:
+        """Add a directed link whose endpoints must already exist."""
+        if link.source not in self._nodes:
+            raise TopologyError(f"link {link.name!r} references unknown node {link.source!r}")
+        if link.target not in self._nodes:
+            raise TopologyError(f"link {link.name!r} references unknown node {link.target!r}")
+        if link.name in self._links:
+            raise TopologyError(f"duplicate link {link.name!r}")
+        self._link_index[link.name] = len(self._links)
+        self._links[link.name] = link
+        self._adjacency[link.source].append(link)
+
+    def add_bidirectional_link(self, link: Link) -> None:
+        """Add ``link`` and its reverse in one call (common for backbones)."""
+        self.add_link(link)
+        self.add_link(link.reversed())
+
+    # ------------------------------------------------------------------
+    # node access
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """All nodes in insertion order."""
+        return tuple(self._nodes.values())
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        """Names of all nodes in insertion order."""
+        return tuple(self._nodes.keys())
+
+    def node(self, name: str) -> Node:
+        """Return the node called ``name``, raising ``TopologyError`` if absent."""
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown node {name!r} in network {self.name!r}") from exc
+
+    def has_node(self, name: str) -> bool:
+        """Return whether a node called ``name`` exists."""
+        return name in self._nodes
+
+    @property
+    def edge_nodes(self) -> tuple[Node, ...]:
+        """Nodes that can originate or terminate demands (access or peering)."""
+        return tuple(node for node in self._nodes.values() if node.is_edge())
+
+    @property
+    def access_nodes(self) -> tuple[Node, ...]:
+        """Nodes with the ``ACCESS`` role (the paper's set ``A``)."""
+        return tuple(n for n in self._nodes.values() if n.role is NodeRole.ACCESS)
+
+    @property
+    def peering_nodes(self) -> tuple[Node, ...]:
+        """Nodes with the ``PEERING`` role (the paper's set ``P``)."""
+        return tuple(n for n in self._nodes.values() if n.role is NodeRole.PEERING)
+
+    @property
+    def transit_nodes(self) -> tuple[Node, ...]:
+        """Nodes that only transit traffic."""
+        return tuple(n for n in self._nodes.values() if n.role is NodeRole.TRANSIT)
+
+    # ------------------------------------------------------------------
+    # link access
+    # ------------------------------------------------------------------
+    @property
+    def links(self) -> tuple[Link, ...]:
+        """All directed links in insertion order."""
+        return tuple(self._links.values())
+
+    @property
+    def link_names(self) -> tuple[str, ...]:
+        """Names of all links in insertion order."""
+        return tuple(self._links.keys())
+
+    def link(self, name: str) -> Link:
+        """Return the link called ``name``, raising ``TopologyError`` if absent."""
+        try:
+            return self._links[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown link {name!r} in network {self.name!r}") from exc
+
+    def has_link(self, name: str) -> bool:
+        """Return whether a link called ``name`` exists."""
+        return name in self._links
+
+    def link_index(self, name: str) -> int:
+        """Return the canonical row index of the link called ``name``."""
+        try:
+            return self._link_index[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown link {name!r} in network {self.name!r}") from exc
+
+    def find_link(self, source: str, target: str) -> Link:
+        """Return the (first) directed link from ``source`` to ``target``."""
+        for link in self._adjacency.get(source, []):
+            if link.target == target:
+                return link
+        raise TopologyError(f"no link from {source!r} to {target!r} in {self.name!r}")
+
+    def outgoing_links(self, node_name: str) -> tuple[Link, ...]:
+        """Directed links leaving ``node_name``."""
+        self.node(node_name)
+        return tuple(self._adjacency[node_name])
+
+    def incoming_links(self, node_name: str) -> tuple[Link, ...]:
+        """Directed links entering ``node_name``."""
+        self.node(node_name)
+        return tuple(link for link in self._links.values() if link.target == node_name)
+
+    @property
+    def interior_links(self) -> tuple[Link, ...]:
+        """Links connecting core nodes (excludes access/peering links)."""
+        return tuple(l for l in self._links.values() if l.kind is LinkKind.INTERIOR)
+
+    # ------------------------------------------------------------------
+    # sizes and pair enumeration
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``N``."""
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links ``L``."""
+        return len(self._links)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of origin-destination pairs between edge nodes."""
+        n_edge = len(self.edge_nodes)
+        return n_edge * (n_edge - 1)
+
+    def node_pairs(self) -> tuple[NodePair, ...]:
+        """Canonical enumeration of origin-destination pairs.
+
+        Pairs are ordered by origin (node insertion order) and then by
+        destination, skipping the diagonal.  Only edge nodes (access or
+        peering) appear; transit nodes never source or sink demands.
+        """
+        edge_names = [node.name for node in self.edge_nodes]
+        pairs = []
+        for origin in edge_names:
+            for destination in edge_names:
+                if origin != destination:
+                    pairs.append(NodePair(origin, destination))
+        return tuple(pairs)
+
+    def pair_index(self) -> dict[NodePair, int]:
+        """Return the mapping from node pair to its canonical vector index."""
+        return {pair: idx for idx, pair in enumerate(self.node_pairs())}
+
+    # ------------------------------------------------------------------
+    # validation and views
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants, raising ``TopologyError`` on failure.
+
+        The network must contain at least two edge nodes (otherwise no
+        demands exist) and must be strongly connected over its edge nodes so
+        that every demand is routable.
+        """
+        if len(self.edge_nodes) < 2:
+            raise TopologyError(
+                f"network {self.name!r} needs at least two edge nodes, "
+                f"got {len(self.edge_nodes)}"
+            )
+        graph = self.to_networkx()
+        for pair in self.node_pairs():
+            if not nx.has_path(graph, pair.origin, pair.destination):
+                raise TopologyError(
+                    f"network {self.name!r} has no path for demand {pair}"
+                )
+
+    def is_connected(self) -> bool:
+        """Return ``True`` if every origin-destination pair has a path."""
+        try:
+            self.validate()
+        except TopologyError:
+            return False
+        return True
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Return a :class:`networkx.DiGraph` view of the topology.
+
+        Link attributes are attached to the edges (``capacity_mbps``,
+        ``metric``, ``kind`` and ``name``); node attributes carry the role,
+        region and population.  Parallel links collapse to the lowest-metric
+        one, which matches how the IGP would prefer them.
+        """
+        graph = nx.DiGraph(name=self.name)
+        for node in self._nodes.values():
+            graph.add_node(
+                node.name,
+                role=node.role,
+                region=node.region,
+                population=node.population,
+                city=node.city,
+            )
+        for link in self._links.values():
+            existing = graph.get_edge_data(link.source, link.target)
+            if existing is not None and existing["metric"] <= link.metric:
+                continue
+            graph.add_edge(
+                link.source,
+                link.target,
+                capacity_mbps=link.capacity_mbps,
+                metric=link.metric,
+                kind=link.kind,
+                name=link.name,
+            )
+        return graph
+
+    def subnetwork(self, name: str, node_names: Sequence[str]) -> "Network":
+        """Return the sub-network induced by ``node_names``.
+
+        Links with either endpoint outside the selection are dropped, which
+        is exactly how the paper extracts the European and American
+        subnetworks ("we simply exclude all links and demands that do not
+        have both source and destination inside the specific region").
+        """
+        selected = set(node_names)
+        unknown = selected - set(self._nodes)
+        if unknown:
+            raise TopologyError(f"unknown nodes in selection: {sorted(unknown)}")
+        if not selected:
+            raise TopologyError("cannot build an empty subnetwork")
+        sub = Network(name)
+        for node in self._nodes.values():
+            if node.name in selected:
+                sub.add_node(node)
+        for link in self._links.values():
+            if link.source in selected and link.target in selected:
+                sub.add_link(link)
+        return sub
+
+    def total_capacity(self) -> float:
+        """Aggregate capacity of all links in Mbit/s."""
+        return sum(link.capacity_mbps for link in self._links.values())
+
+    def degree(self, node_name: str) -> int:
+        """Out-degree of ``node_name`` (number of outgoing links)."""
+        return len(self.outgoing_links(node_name))
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes or name in self._links
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(name={self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_links}, pairs={self.num_pairs})"
+        )

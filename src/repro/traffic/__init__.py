@@ -1,0 +1,47 @@
+"""Traffic substrate: traffic matrices, diurnal profiles, synthetic generators.
+
+* :class:`~repro.traffic.matrix.TrafficMatrix` /
+  :class:`~repro.traffic.matrix.TrafficMatrixSeries` — demand vectors,
+  distributions, fanouts and their time series;
+* :mod:`~repro.traffic.diurnal` — 24-hour traffic profiles (Figure 1);
+* :mod:`~repro.traffic.meanvariance` — the generalised scaling law
+  ``Var = phi * mean ** c`` and its log-log fit (Figure 6);
+* :mod:`~repro.traffic.synthetic` — day-long synthetic demand processes
+  calibrated to the paper's data analysis, plus the Poisson series of the
+  synthetic Vardi experiment (Figure 12).
+"""
+
+from repro.traffic.diurnal import (
+    FIVE_MINUTES,
+    SECONDS_PER_DAY,
+    DiurnalProfile,
+    american_profile,
+    european_profile,
+    flat_profile,
+)
+from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSeries
+from repro.traffic.meanvariance import ScalingLaw, fit_scaling_law, scaling_law_from_series
+from repro.traffic.synthetic import (
+    SyntheticTrafficConfig,
+    SyntheticTrafficModel,
+    base_demand_matrix,
+    poisson_series,
+)
+
+__all__ = [
+    "TrafficMatrix",
+    "TrafficMatrixSeries",
+    "DiurnalProfile",
+    "european_profile",
+    "american_profile",
+    "flat_profile",
+    "FIVE_MINUTES",
+    "SECONDS_PER_DAY",
+    "ScalingLaw",
+    "fit_scaling_law",
+    "scaling_law_from_series",
+    "SyntheticTrafficConfig",
+    "SyntheticTrafficModel",
+    "base_demand_matrix",
+    "poisson_series",
+]

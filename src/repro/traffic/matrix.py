@@ -1,0 +1,390 @@
+"""Traffic matrix data structures.
+
+A traffic matrix assigns a demand volume to every origin-destination pair of
+a network.  The paper manipulates it in three equivalent forms (Section 3):
+
+* the vector ``s`` of point-to-point demands (canonical pair order),
+* the normalised *demand distribution* ``s / s_tot``, and
+* the *fanout* form ``alpha_nm = s_nm / sum_m s_nm`` — the fraction of the
+  traffic entering at ``n`` that exits at ``m``.
+
+:class:`TrafficMatrix` provides all three views plus the bookkeeping
+(origin / destination totals, top-demand selection, thresholds for the
+"demands carrying X % of traffic" rule used by the MRE metric).
+:class:`TrafficMatrixSeries` holds a time series of matrices sampled at a
+fixed interval — the paper's 24 hours of 5-minute samples — and exposes the
+per-demand statistics (mean, variance, fanout trajectories) the data
+analysis sections rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TrafficError
+from repro.topology.elements import NodePair
+from repro.topology.network import Network
+
+__all__ = ["TrafficMatrix", "TrafficMatrixSeries"]
+
+
+class TrafficMatrix:
+    """An immutable traffic matrix over an explicit pair ordering.
+
+    Parameters
+    ----------
+    pairs:
+        Origin-destination pairs, in the order the values refer to.  This is
+        normally the canonical order of the owning network.
+    values:
+        Demand volumes (e.g. Mbit/s), one per pair, all non-negative.
+    """
+
+    def __init__(self, pairs: Sequence[NodePair], values: Iterable[float]) -> None:
+        self.pairs = tuple(pairs)
+        vector = np.asarray(list(values), dtype=float)
+        if vector.ndim != 1:
+            raise TrafficError("traffic matrix values must form a one-dimensional vector")
+        if len(vector) != len(self.pairs):
+            raise TrafficError(
+                f"got {len(vector)} values for {len(self.pairs)} pairs"
+            )
+        if np.any(vector < 0):
+            raise TrafficError("traffic matrix values must be non-negative")
+        if len(set(self.pairs)) != len(self.pairs):
+            raise TrafficError("duplicate origin-destination pairs")
+        self._values = vector
+        self._values.setflags(write=False)
+        self._index = {pair: idx for idx, pair in enumerate(self.pairs)}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(
+        cls,
+        pairs: Sequence[NodePair],
+        demands: Mapping[NodePair, float],
+        strict: bool = False,
+    ) -> "TrafficMatrix":
+        """Build a matrix from a ``pair -> volume`` mapping.
+
+        Pairs absent from the mapping get zero demand.  With ``strict`` the
+        mapping must not contain pairs outside ``pairs``.
+        """
+        known = set(pairs)
+        extra = set(demands) - known
+        if strict and extra:
+            raise TrafficError(f"demands reference unknown pairs: {sorted(map(str, extra))}")
+        return cls(pairs, [float(demands.get(pair, 0.0)) for pair in pairs])
+
+    @classmethod
+    def from_network(cls, network: Network, demands: Mapping[NodePair, float]) -> "TrafficMatrix":
+        """Build a matrix over the canonical pair order of ``network``."""
+        return cls.from_mapping(network.node_pairs(), demands, strict=True)
+
+    @classmethod
+    def zeros(cls, pairs: Sequence[NodePair]) -> "TrafficMatrix":
+        """An all-zero matrix over ``pairs``."""
+        return cls(pairs, np.zeros(len(pairs)))
+
+    # ------------------------------------------------------------------
+    # basic access
+    # ------------------------------------------------------------------
+    @property
+    def vector(self) -> np.ndarray:
+        """The demand vector ``s`` (read-only view)."""
+        return self._values
+
+    def demand(self, pair: NodePair) -> float:
+        """Demand of a single pair."""
+        try:
+            return float(self._values[self._index[pair]])
+        except KeyError as exc:
+            raise TrafficError(f"pair {pair} not in traffic matrix") from exc
+
+    def __getitem__(self, pair: NodePair) -> float:
+        return self.demand(pair)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[tuple[NodePair, float]]:
+        return iter(zip(self.pairs, self._values))
+
+    def to_mapping(self) -> dict[NodePair, float]:
+        """Return a ``pair -> volume`` dictionary."""
+        return {pair: float(value) for pair, value in zip(self.pairs, self._values)}
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Total network traffic ``s_tot`` (sum of all demands)."""
+        return float(self._values.sum())
+
+    def origin_names(self) -> tuple[str, ...]:
+        """Origins appearing in the pair ordering, in first-seen order."""
+        seen: dict[str, None] = {}
+        for pair in self.pairs:
+            seen.setdefault(pair.origin, None)
+        return tuple(seen)
+
+    def destination_names(self) -> tuple[str, ...]:
+        """Destinations appearing in the pair ordering, in first-seen order."""
+        seen: dict[str, None] = {}
+        for pair in self.pairs:
+            seen.setdefault(pair.destination, None)
+        return tuple(seen)
+
+    def origin_totals(self) -> dict[str, float]:
+        """Total traffic entering the network at each origin (``t_e(n)``)."""
+        totals: dict[str, float] = {name: 0.0 for name in self.origin_names()}
+        for pair, value in zip(self.pairs, self._values):
+            totals[pair.origin] += float(value)
+        return totals
+
+    def destination_totals(self) -> dict[str, float]:
+        """Total traffic exiting the network at each destination (``t_x(m)``)."""
+        totals: dict[str, float] = {name: 0.0 for name in self.destination_names()}
+        for pair, value in zip(self.pairs, self._values):
+            totals[pair.destination] += float(value)
+        return totals
+
+    def to_dense(self) -> tuple[tuple[str, ...], np.ndarray]:
+        """Return ``(node_names, matrix)`` with a dense N x N array.
+
+        The diagonal is zero; node order is origins-first-seen, extended by
+        destinations not already present.
+        """
+        names = list(self.origin_names())
+        for name in self.destination_names():
+            if name not in names:
+                names.append(name)
+        index = {name: i for i, name in enumerate(names)}
+        dense = np.zeros((len(names), len(names)))
+        for pair, value in zip(self.pairs, self._values):
+            dense[index[pair.origin], index[pair.destination]] = value
+        return tuple(names), dense
+
+    # ------------------------------------------------------------------
+    # normalised views (paper Section 3.2)
+    # ------------------------------------------------------------------
+    def as_distribution(self) -> np.ndarray:
+        """The demand distribution ``s / s_tot`` (sums to one).
+
+        Raises
+        ------
+        TrafficError
+            If the matrix is identically zero (the distribution is undefined).
+        """
+        total = self.total
+        if total <= 0:
+            raise TrafficError("cannot normalise an all-zero traffic matrix")
+        return self._values / total
+
+    def fanouts(self) -> dict[NodePair, float]:
+        """Fanout factors ``alpha_nm = s_nm / t_e(n)``.
+
+        Origins with zero total traffic get uniform fanouts over their
+        destinations, which keeps every per-origin fanout vector a proper
+        probability distribution.
+        """
+        origin_totals = self.origin_totals()
+        destinations_per_origin: dict[str, int] = {}
+        for pair in self.pairs:
+            destinations_per_origin[pair.origin] = destinations_per_origin.get(pair.origin, 0) + 1
+        fanouts: dict[NodePair, float] = {}
+        for pair, value in zip(self.pairs, self._values):
+            total = origin_totals[pair.origin]
+            if total > 0:
+                fanouts[pair] = float(value) / total
+            else:
+                fanouts[pair] = 1.0 / destinations_per_origin[pair.origin]
+        return fanouts
+
+    def fanout_vector(self) -> np.ndarray:
+        """Fanouts in canonical pair order, as a vector."""
+        fanouts = self.fanouts()
+        return np.array([fanouts[pair] for pair in self.pairs])
+
+    # ------------------------------------------------------------------
+    # demand ranking helpers (used by the MRE threshold rule)
+    # ------------------------------------------------------------------
+    def top_demands(self, count: int) -> tuple[NodePair, ...]:
+        """The ``count`` largest demands, by volume, ties broken by pair order."""
+        if count < 0:
+            raise TrafficError("count must be non-negative")
+        order = sorted(
+            range(len(self.pairs)), key=lambda i: (-self._values[i], i)
+        )
+        return tuple(self.pairs[i] for i in order[:count])
+
+    def threshold_for_traffic_fraction(self, fraction: float) -> float:
+        """Smallest demand value whose inclusion covers ``fraction`` of traffic.
+
+        The paper's MRE sums over demands larger than a threshold chosen so
+        that the retained demands carry approximately 90 % of total traffic;
+        this helper computes that threshold.
+        """
+        if not 0 < fraction <= 1:
+            raise TrafficError("fraction must lie in (0, 1]")
+        if self.total <= 0:
+            return 0.0
+        sorted_values = np.sort(self._values)[::-1]
+        cumulative = np.cumsum(sorted_values)
+        target = fraction * self.total
+        idx = int(np.searchsorted(cumulative, target - 1e-12))
+        idx = min(idx, len(sorted_values) - 1)
+        return float(sorted_values[idx])
+
+    def demands_above(self, threshold: float) -> tuple[NodePair, ...]:
+        """Pairs whose demand strictly exceeds ``threshold``."""
+        return tuple(
+            pair for pair, value in zip(self.pairs, self._values) if value > threshold
+        )
+
+    def cumulative_distribution(self) -> tuple[np.ndarray, np.ndarray]:
+        """Data behind the paper's Figure 2.
+
+        Returns ``(rank_fraction, traffic_fraction)``: after sorting demands
+        in decreasing order, ``traffic_fraction[i]`` is the share of total
+        traffic carried by the ``rank_fraction[i]`` largest fraction of
+        demands.
+        """
+        if self.total <= 0:
+            raise TrafficError("cumulative distribution undefined for zero traffic")
+        sorted_values = np.sort(self._values)[::-1]
+        cumulative = np.cumsum(sorted_values) / self.total
+        ranks = np.arange(1, len(sorted_values) + 1) / len(sorted_values)
+        return ranks, cumulative
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """Return a copy with every demand multiplied by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise TrafficError("scaling factor must be non-negative")
+        return TrafficMatrix(self.pairs, self._values * factor)
+
+    def with_values(self, values: Iterable[float]) -> "TrafficMatrix":
+        """Return a matrix over the same pairs with new values."""
+        return TrafficMatrix(self.pairs, values)
+
+    def __add__(self, other: "TrafficMatrix") -> "TrafficMatrix":
+        if not isinstance(other, TrafficMatrix):
+            return NotImplemented
+        if self.pairs != other.pairs:
+            raise TrafficError("cannot add traffic matrices over different pair orderings")
+        return TrafficMatrix(self.pairs, self._values + other._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrafficMatrix(pairs={len(self.pairs)}, total={self.total:.3f})"
+
+
+class TrafficMatrixSeries:
+    """A time series of traffic matrices sampled at a fixed interval.
+
+    Parameters
+    ----------
+    snapshots:
+        Traffic matrices in chronological order; all must share the same
+        pair ordering.
+    interval_seconds:
+        Sampling interval; the paper's data is five-minute (300 s) samples.
+    start_time_seconds:
+        Timestamp of the first snapshot, seconds since midnight.
+    """
+
+    def __init__(
+        self,
+        snapshots: Sequence[TrafficMatrix],
+        interval_seconds: float = 300.0,
+        start_time_seconds: float = 0.0,
+    ) -> None:
+        if not snapshots:
+            raise TrafficError("a traffic matrix series needs at least one snapshot")
+        if interval_seconds <= 0:
+            raise TrafficError("interval_seconds must be positive")
+        first = snapshots[0]
+        for snap in snapshots[1:]:
+            if snap.pairs != first.pairs:
+                raise TrafficError("all snapshots must share the same pair ordering")
+        self.snapshots = tuple(snapshots)
+        self.interval_seconds = float(interval_seconds)
+        self.start_time_seconds = float(start_time_seconds)
+        self.pairs = first.pairs
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __getitem__(self, index: int) -> TrafficMatrix:
+        return self.snapshots[index]
+
+    def __iter__(self) -> Iterator[TrafficMatrix]:
+        return iter(self.snapshots)
+
+    def timestamps(self) -> np.ndarray:
+        """Timestamps (seconds since midnight) of each snapshot."""
+        return self.start_time_seconds + self.interval_seconds * np.arange(len(self.snapshots))
+
+    def as_array(self) -> np.ndarray:
+        """Stack the demand vectors into an array of shape ``(K, P)``."""
+        return np.stack([snap.vector for snap in self.snapshots])
+
+    # ------------------------------------------------------------------
+    # statistics used by the paper's data analysis
+    # ------------------------------------------------------------------
+    def mean_matrix(self) -> TrafficMatrix:
+        """Per-pair mean over the series (the MRE reference for time-series methods)."""
+        return TrafficMatrix(self.pairs, self.as_array().mean(axis=0))
+
+    def demand_means(self) -> np.ndarray:
+        """Per-pair sample means."""
+        return self.as_array().mean(axis=0)
+
+    def demand_variances(self, ddof: int = 0) -> np.ndarray:
+        """Per-pair sample variances."""
+        return self.as_array().var(axis=0, ddof=ddof)
+
+    def total_traffic_series(self) -> np.ndarray:
+        """Total network traffic per snapshot (the paper's Figure 1)."""
+        return self.as_array().sum(axis=1)
+
+    def fanout_series(self) -> np.ndarray:
+        """Fanouts per snapshot, shape ``(K, P)`` (the paper's Figure 5)."""
+        return np.stack([snap.fanout_vector() for snap in self.snapshots])
+
+    def window(self, start: int, length: int) -> "TrafficMatrixSeries":
+        """Return the sub-series ``[start, start + length)``."""
+        if length <= 0:
+            raise TrafficError("window length must be positive")
+        if start < 0 or start + length > len(self.snapshots):
+            raise TrafficError(
+                f"window [{start}, {start + length}) outside series of length {len(self)}"
+            )
+        return TrafficMatrixSeries(
+            self.snapshots[start : start + length],
+            interval_seconds=self.interval_seconds,
+            start_time_seconds=self.start_time_seconds + start * self.interval_seconds,
+        )
+
+    def busy_window(self, length: int) -> "TrafficMatrixSeries":
+        """The ``length`` consecutive snapshots with the highest total traffic.
+
+        This mirrors the paper's focus on the busy period (the shaded
+        interval of its Figure 1) for the estimation benchmarks.
+        """
+        if length <= 0:
+            raise TrafficError("window length must be positive")
+        if length > len(self.snapshots):
+            raise TrafficError("window longer than the series")
+        totals = self.total_traffic_series()
+        sums = np.convolve(totals, np.ones(length), mode="valid")
+        start = int(np.argmax(sums))
+        return self.window(start, length)

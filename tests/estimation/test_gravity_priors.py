@@ -1,0 +1,163 @@
+"""Tests for gravity estimators and prior construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation import (
+    EstimationProblem,
+    GeneralizedGravityEstimator,
+    SimpleGravityEstimator,
+    gravity_prior,
+    gravity_vector,
+    make_prior,
+    uniform_prior,
+    worst_case_bound_prior,
+)
+from repro.routing import build_routing_matrix
+from repro.topology import Link, Network, Node, NodePair, NodeRole
+from repro.traffic import TrafficMatrix
+
+
+def gravity_consistent_problem(network, routing):
+    """A traffic matrix that satisfies the gravity assumption exactly."""
+    origin_weights = {"A": 6.0, "B": 3.0, "C": 1.0}
+    total = 100.0
+    demands = {}
+    for pair in network.node_pairs():
+        exit_share = origin_weights[pair.destination] / sum(
+            origin_weights[d] for d in origin_weights if d != "__none__"
+        )
+        demands[pair] = origin_weights[pair.origin] * origin_weights[pair.destination]
+    truth = TrafficMatrix.from_network(network, demands)
+    truth = truth.scaled(total / truth.total)
+    problem = EstimationProblem(
+        routing=routing,
+        link_loads=routing.link_loads(truth.vector),
+        origin_totals=truth.origin_totals(),
+        destination_totals=truth.destination_totals(),
+    )
+    return truth, problem
+
+
+class TestSimpleGravity:
+    def test_total_traffic_preserved(self, triangle_network, triangle_routing, triangle_traffic):
+        problem = EstimationProblem(
+            routing=triangle_routing,
+            link_loads=triangle_routing.link_loads(triangle_traffic.vector),
+            origin_totals=triangle_traffic.origin_totals(),
+            destination_totals=triangle_traffic.destination_totals(),
+        )
+        estimate = SimpleGravityEstimator().estimate(problem).estimate
+        assert estimate.total == pytest.approx(triangle_traffic.total, rel=1e-9)
+
+    def test_requires_edge_totals(self, triangle_routing):
+        problem = EstimationProblem(
+            routing=triangle_routing, link_loads=np.ones(triangle_routing.num_links)
+        )
+        with pytest.raises(EstimationError):
+            SimpleGravityEstimator().estimate(problem)
+
+    def test_fanout_identity(self, triangle_network, triangle_routing, triangle_traffic):
+        """The simple gravity model is the fanout model alpha_nm = tx(m) / sum tx."""
+        problem = EstimationProblem(
+            routing=triangle_routing,
+            link_loads=triangle_routing.link_loads(triangle_traffic.vector),
+            origin_totals=triangle_traffic.origin_totals(),
+            destination_totals=triangle_traffic.destination_totals(),
+        )
+        estimate = SimpleGravityEstimator().estimate(problem).estimate
+        exits = triangle_traffic.destination_totals()
+        fanouts = estimate.fanouts()
+        for pair in estimate.pairs:
+            other_exits = sum(v for name, v in exits.items() if name != pair.origin)
+            expected = exits[pair.destination] / other_exits
+            assert fanouts[pair] == pytest.approx(expected, rel=1e-9)
+
+    def test_gravity_vector_matches_estimator(self, triangle_network, triangle_routing, triangle_traffic):
+        problem = EstimationProblem(
+            routing=triangle_routing,
+            link_loads=triangle_routing.link_loads(triangle_traffic.vector),
+            origin_totals=triangle_traffic.origin_totals(),
+            destination_totals=triangle_traffic.destination_totals(),
+        )
+        assert np.allclose(
+            gravity_vector(problem), SimpleGravityEstimator().estimate(problem).vector
+        )
+
+
+class TestGeneralizedGravity:
+    def build_peering_network(self) -> Network:
+        network = Network("peering")
+        network.add_node(Node(name="A", role=NodeRole.ACCESS))
+        network.add_node(Node(name="B", role=NodeRole.PEERING))
+        network.add_node(Node(name="C", role=NodeRole.PEERING))
+        for a, b in (("A", "B"), ("B", "C"), ("A", "C")):
+            network.add_bidirectional_link(Link(source=a, target=b))
+        return network
+
+    def test_peer_to_peer_demands_zeroed(self):
+        network = self.build_peering_network()
+        routing = build_routing_matrix(network)
+        traffic = TrafficMatrix.from_network(
+            network, {pair: 10.0 for pair in network.node_pairs()}
+        )
+        problem = EstimationProblem(
+            routing=routing,
+            link_loads=routing.link_loads(traffic.vector),
+            origin_totals=traffic.origin_totals(),
+            destination_totals=traffic.destination_totals(),
+        )
+        estimate = GeneralizedGravityEstimator(network=network).estimate(problem).estimate
+        assert estimate.demand(NodePair("B", "C")) == 0.0
+        assert estimate.demand(NodePair("C", "B")) == 0.0
+        assert estimate.demand(NodePair("A", "B")) > 0.0
+
+    def test_explicit_peering_set(self):
+        network = self.build_peering_network()
+        routing = build_routing_matrix(network)
+        traffic = TrafficMatrix.from_network(network, {pair: 5.0 for pair in network.node_pairs()})
+        problem = EstimationProblem(
+            routing=routing,
+            link_loads=routing.link_loads(traffic.vector),
+            origin_totals=traffic.origin_totals(),
+            destination_totals=traffic.destination_totals(),
+        )
+        estimator = GeneralizedGravityEstimator(peering_nodes={"B", "C"})
+        estimate = estimator.estimate(problem).estimate
+        assert estimate.demand(NodePair("B", "C")) == 0.0
+
+    def test_requires_network_or_peering_set(self):
+        with pytest.raises(EstimationError):
+            GeneralizedGravityEstimator()
+
+
+class TestPriors:
+    def test_uniform_prior_spreads_total(self, small_snapshot_problem):
+        prior = uniform_prior(small_snapshot_problem)
+        assert prior.std() == pytest.approx(0.0)
+        assert prior.sum() == pytest.approx(small_snapshot_problem.total_traffic(), rel=1e-6)
+
+    def test_gravity_prior_matches_gravity_vector(self, small_snapshot_problem):
+        assert np.allclose(
+            gravity_prior(small_snapshot_problem), gravity_vector(small_snapshot_problem)
+        )
+
+    def test_wcb_prior_is_nonnegative_and_bounded(self, small_snapshot_problem, small_truth):
+        prior = worst_case_bound_prior(small_snapshot_problem)
+        assert np.all(prior >= 0)
+        assert prior.sum() > 0
+        # Midpoints can never exceed the total network traffic.
+        assert prior.max() <= small_truth.total + 1e-6
+
+    def test_make_prior_dispatch(self, small_snapshot_problem):
+        assert np.allclose(
+            make_prior(small_snapshot_problem, "uniform"), uniform_prior(small_snapshot_problem)
+        )
+        assert np.allclose(
+            make_prior(small_snapshot_problem, "gravity"), gravity_prior(small_snapshot_problem)
+        )
+        with pytest.raises(EstimationError):
+            make_prior(small_snapshot_problem, "oracle")

@@ -1,0 +1,186 @@
+"""Tests for worst-case bounds and the direct-measurement combination."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation import (
+    DemandBounds,
+    DirectMeasurementCombiner,
+    EntropyEstimator,
+    EstimationProblem,
+    SimpleGravityEstimator,
+    WorstCaseBoundsEstimator,
+    greedy_measurement_selection,
+    largest_demand_selection,
+    reduce_problem,
+    worst_case_bounds,
+)
+from repro.evaluation import mean_relative_error
+from repro.routing import build_routing_matrix
+from repro.topology import NodePair
+from repro.traffic import TrafficMatrix
+
+
+@pytest.fixture
+def line_setup(line_network):
+    routing = build_routing_matrix(line_network)
+    demands = {
+        NodePair("A", "D"): 40.0,
+        NodePair("A", "B"): 10.0,
+        NodePair("B", "D"): 20.0,
+        NodePair("D", "A"): 25.0,
+        NodePair("C", "A"): 5.0,
+    }
+    truth = TrafficMatrix.from_network(line_network, demands)
+    problem = EstimationProblem(
+        routing=routing,
+        link_loads=routing.link_loads(truth.vector),
+        origin_totals=truth.origin_totals(),
+        destination_totals=truth.destination_totals(),
+    )
+    return truth, problem
+
+
+class TestDemandBounds:
+    def test_midpoint_width_membership(self):
+        bounds = DemandBounds(pair=NodePair("A", "B"), lower=2.0, upper=6.0)
+        assert bounds.midpoint == 4.0
+        assert bounds.width == 4.0
+        assert bounds.contains(3.0)
+        assert not bounds.contains(7.0)
+        assert not bounds.is_exact()
+        assert DemandBounds(pair=NodePair("A", "B"), lower=3.0, upper=3.0).is_exact()
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(EstimationError):
+            DemandBounds(pair=NodePair("A", "B"), lower=-1.0, upper=1.0)
+        with pytest.raises(EstimationError):
+            DemandBounds(pair=NodePair("A", "B"), lower=5.0, upper=1.0)
+
+
+class TestWorstCaseBounds:
+    def test_bounds_contain_truth(self, line_setup):
+        truth, problem = line_setup
+        for bounds in worst_case_bounds(problem):
+            assert bounds.contains(truth.demand(bounds.pair), tolerance=1e-4)
+
+    def test_bounds_without_edge_totals_are_looser(self, line_setup):
+        truth, problem = line_setup
+        tight = worst_case_bounds(problem, use_edge_totals=True)
+        loose = worst_case_bounds(problem, use_edge_totals=False)
+        tight_width = sum(b.width for b in tight)
+        loose_width = sum(b.width for b in loose)
+        assert tight_width <= loose_width + 1e-6
+
+    def test_subset_of_pairs(self, line_setup):
+        truth, problem = line_setup
+        subset = [NodePair("A", "D"), NodePair("B", "D")]
+        bounds = worst_case_bounds(problem, pairs=subset)
+        assert [b.pair for b in bounds] == subset
+
+    def test_estimator_reports_bounds_in_diagnostics(self, line_setup):
+        truth, problem = line_setup
+        result = WorstCaseBoundsEstimator().estimate(problem)
+        assert result.diagnostics["num_bounded"] == problem.num_pairs
+        lower = result.diagnostics["lower_bounds"]
+        upper = result.diagnostics["upper_bounds"]
+        assert np.all(lower <= upper + 1e-9)
+        assert np.allclose(result.vector, 0.5 * (lower + upper))
+
+    def test_midpoint_prior_reasonable(self, line_setup):
+        truth, problem = line_setup
+        result = WorstCaseBoundsEstimator().estimate(problem)
+        assert mean_relative_error(result.estimate, truth) < 1.0
+
+
+class TestReduceProblem:
+    def test_measured_contribution_removed(self, line_setup):
+        truth, problem = line_setup
+        measured = {NodePair("A", "D"): truth.demand(NodePair("A", "D"))}
+        reduced = reduce_problem(problem, measured)
+        assert reduced.num_pairs == problem.num_pairs - 1
+        assert NodePair("A", "D") not in reduced.pairs
+        # The remaining system stays consistent with the unmeasured demands.
+        remaining = np.array(
+            [truth.demand(pair) for pair in reduced.pairs]
+        )
+        assert np.allclose(reduced.routing.link_loads(remaining), reduced.link_loads, atol=1e-9)
+
+    def test_edge_totals_adjusted(self, line_setup):
+        truth, problem = line_setup
+        pair = NodePair("A", "D")
+        reduced = reduce_problem(problem, {pair: truth.demand(pair)})
+        assert reduced.origin_totals["A"] == pytest.approx(
+            problem.origin_totals["A"] - truth.demand(pair)
+        )
+        assert reduced.destination_totals["D"] == pytest.approx(
+            problem.destination_totals["D"] - truth.demand(pair)
+        )
+
+    def test_empty_measurement_returns_same_problem(self, line_setup):
+        _, problem = line_setup
+        assert reduce_problem(problem, {}) is problem
+
+    def test_unknown_pair_rejected(self, line_setup):
+        _, problem = line_setup
+        with pytest.raises(EstimationError):
+            reduce_problem(problem, {NodePair("X", "Y"): 1.0})
+
+    def test_negative_measurement_rejected(self, line_setup):
+        _, problem = line_setup
+        with pytest.raises(EstimationError):
+            reduce_problem(problem, {NodePair("A", "D"): -1.0})
+
+
+class TestDirectMeasurementCombiner:
+    def test_measured_values_pass_through(self, line_setup):
+        truth, problem = line_setup
+        pair = NodePair("A", "D")
+        combiner = DirectMeasurementCombiner(
+            EntropyEstimator(regularization=1000.0), {pair: truth.demand(pair)}
+        )
+        result = combiner.estimate(problem)
+        assert result.estimate.demand(pair) == pytest.approx(truth.demand(pair))
+        assert result.method == "entropy+direct"
+
+    def test_measuring_all_pairs_returns_truth(self, line_setup):
+        truth, problem = line_setup
+        combiner = DirectMeasurementCombiner(SimpleGravityEstimator(), truth.to_mapping())
+        result = combiner.estimate(problem)
+        assert np.allclose(result.vector, truth.vector)
+
+    def test_error_decreases_with_measurements(self, line_setup):
+        truth, problem = line_setup
+        estimator = EntropyEstimator(regularization=1000.0)
+        baseline = mean_relative_error(estimator.estimate(problem).estimate, truth)
+
+        def metric(estimate):
+            return mean_relative_error(estimate, truth)
+
+        history = greedy_measurement_selection(problem, truth, estimator, metric, 2)
+        assert len(history) == 2
+        assert history[0][1] <= baseline + 1e-9
+        assert history[1][1] <= history[0][1] + 1e-9
+
+    def test_largest_demand_selection_returns_history(self, line_setup):
+        truth, problem = line_setup
+        estimator = EntropyEstimator(regularization=1000.0)
+
+        def metric(estimate):
+            return mean_relative_error(estimate, truth)
+
+        history = largest_demand_selection(problem, truth, estimator, metric, 3)
+        assert len(history) == 3
+        # The strategy measures the largest estimated demands first.
+        assert history[0][0] in truth.top_demands(3)
+
+    def test_selection_validation(self, line_setup):
+        truth, problem = line_setup
+        estimator = EntropyEstimator(regularization=1000.0)
+        with pytest.raises(EstimationError):
+            greedy_measurement_selection(problem, truth, estimator, lambda e: 0.0, 0)
+        with pytest.raises(EstimationError):
+            largest_demand_selection(problem, truth, estimator, lambda e: 0.0, 0)

@@ -1,0 +1,156 @@
+"""Tests for the figure data generators and table runners (on a small scenario)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import (
+    ExperimentRecord,
+    method_comparison,
+    summary_table,
+    vardi_table,
+)
+from repro.evaluation.figures import (
+    cumulative_demand_distribution,
+    direct_measurement_curve,
+    fanout_estimation_scatter,
+    fanout_mre_vs_window,
+    gravity_scatter,
+    mean_variance_relation,
+    prior_comparison_sweep,
+    regularization_sweep,
+    regularized_scatter,
+    spatial_distribution,
+    total_traffic_over_time,
+    vardi_synthetic_mre_vs_window,
+    worst_case_bound_scatter,
+    fanout_stability,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    from repro.datasets import small_scenario
+
+    return small_scenario(seed=17, num_nodes=6, busy_length=20, num_samples=80)
+
+
+class TestDataAnalysisFigures:
+    def test_fig1_total_traffic(self, scenario):
+        data = total_traffic_over_time(scenario)
+        assert data["normalized_total_traffic"].max() == pytest.approx(1.0)
+        assert len(data["time_seconds"]) == len(data["normalized_total_traffic"])
+
+    def test_fig2_cumulative_distribution(self, scenario):
+        data = cumulative_demand_distribution(scenario)
+        assert data["traffic_fraction"][-1] == pytest.approx(1.0)
+        assert np.all(np.diff(data["traffic_fraction"]) >= -1e-12)
+
+    def test_fig3_spatial_distribution(self, scenario):
+        data = spatial_distribution(scenario)
+        size = len(data["node_names"])
+        assert data["demand_matrix"].shape == (size, size)
+        assert np.trace(data["demand_matrix"]) == 0.0
+
+    def test_fig4_5_fanout_stability(self, scenario):
+        data = fanout_stability(scenario, num_sources=3)
+        assert data["demands"].shape[0] == 3
+        assert data["fanouts"].shape == data["demands"].shape
+        # The headline property: fanouts fluctuate less than demands.
+        assert data["fanout_cov"].mean() < data["demand_cov"].mean()
+
+    def test_fig6_mean_variance(self, scenario):
+        data = mean_variance_relation(scenario)
+        assert data["phi"] > 0
+        assert 0.5 < data["c"] < 2.5
+        assert len(data["demand_means"]) == scenario.network.num_pairs
+
+
+class TestEstimationFigures:
+    def test_fig7_gravity_scatter(self, scenario):
+        data = gravity_scatter(scenario)
+        assert data["estimated"].shape == data["actual"].shape
+        assert data["mre"] > 0
+
+    def test_fig8_9_worst_case_bounds(self, scenario):
+        data = worst_case_bound_scatter(scenario)
+        assert np.all(data["upper_bounds"] >= data["lower_bounds"] - 1e-9)
+        assert np.all(data["lower_bounds"] <= data["actual"] + 1e-6)
+        assert np.all(data["actual"] <= data["upper_bounds"] + 1e-6)
+        assert np.allclose(data["midpoint"], 0.5 * (data["lower_bounds"] + data["upper_bounds"]))
+
+    def test_fig10_fanout_scatter(self, scenario):
+        data = fanout_estimation_scatter(scenario, window_lengths=(1, 3))
+        assert set(data) == {1, 3}
+        assert data[3]["estimated"].shape == data[3]["actual_average"].shape
+
+    def test_fig11_fanout_mre_curve(self, scenario):
+        data = fanout_mre_vs_window(scenario, window_lengths=(1, 3, 10))
+        assert len(data["mre"]) == 3
+        assert np.all(data["mre"] > 0)
+
+    def test_fig12_vardi_synthetic(self, scenario):
+        data = vardi_synthetic_mre_vs_window(scenario, window_sizes=(20, 200), seed=3)
+        assert len(data["mre"]) == 2
+        # More samples must help when the Poisson assumption holds exactly.
+        assert data["mre"][1] < data["mre"][0]
+
+    def test_fig13_regularization_sweep(self, scenario):
+        data = regularization_sweep(scenario, regularizations=[1e-4, 1.0, 1e4])
+        assert len(data["bayesian_mre"]) == 3
+        assert len(data["entropy_mre"]) == 3
+        # Large regularisation (trusting the measurements) must beat the prior-only end.
+        assert data["entropy_mre"][-1] < data["entropy_mre"][0]
+
+    def test_fig14_scatter(self, scenario):
+        data = regularized_scatter(scenario, regularization=1000.0)
+        assert data["bayesian"].shape == data["actual"].shape
+        assert data["entropy"].shape == data["actual"].shape
+
+    def test_fig15_prior_comparison(self, scenario):
+        data = prior_comparison_sweep(scenario, regularizations=[1e-4, 1e3])
+        # At small regularisation the WCB prior must beat the gravity prior.
+        assert data["wcb_prior_mre"][0] < data["gravity_prior_mre"][0]
+
+    def test_fig16_direct_measurements(self, scenario):
+        data = direct_measurement_curve(scenario, max_measurements=2, strategy="largest")
+        assert len(data["mre"]) == 3  # baseline + 2 measurements
+        assert data["mre"][-1] <= data["mre"][0] + 1e-9
+        greedy = direct_measurement_curve(scenario, max_measurements=1, strategy="greedy")
+        assert greedy["mre"][1] <= greedy["mre"][0] + 1e-9
+
+
+class TestTables:
+    def test_table1_vardi(self, scenario):
+        records = vardi_table(scenario, poisson_weights=(0.01, 1.0), window_length=15)
+        assert len(records) == 2
+        weights = [r.parameters["poisson_weight"] for r in records]
+        assert weights == [0.01, 1.0]
+        # Full faith in the Poisson assumption hurts on non-Poisson data.
+        assert records[1].mre >= records[0].mre
+
+    def test_table2_method_comparison(self, scenario):
+        records = method_comparison(scenario, fanout_window=5, vardi_window=15)
+        methods = {r.method for r in records}
+        assert {
+            "Worst-case bound prior",
+            "Simple gravity prior",
+            "Entropy w. gravity prior",
+            "Bayes w. gravity prior",
+            "Bayes w. WCB prior",
+            "Fanout",
+            "Vardi",
+        } <= methods
+        by_method = {r.method: r.mre for r in records}
+        # The paper's headline ordering: regularised estimation beats the raw priors.
+        assert by_method["Entropy w. gravity prior"] < by_method["Simple gravity prior"]
+        assert by_method["Bayes w. WCB prior"] <= by_method["Simple gravity prior"]
+
+    def test_summary_table_layout(self, scenario):
+        records = [
+            ExperimentRecord(scenario="europe", method="Entropy", mre=0.1),
+            ExperimentRecord(scenario="america", method="Entropy", mre=0.2),
+        ]
+        table = summary_table(records)
+        assert table == {"Entropy": {"europe": 0.1, "america": 0.2}}

@@ -1,0 +1,130 @@
+"""Tests for the evaluation metrics (MRE and friends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.evaluation import (
+    demand_ranking_correlation,
+    mean_relative_error,
+    relative_errors,
+    root_mean_square_error,
+    top_demand_threshold,
+)
+from repro.topology import NodePair
+from repro.traffic import TrafficMatrix
+
+
+PAIRS = tuple(NodePair(f"N{i}", f"N{j}") for i in range(4) for j in range(4) if i != j)
+
+
+def matrix(values) -> TrafficMatrix:
+    return TrafficMatrix(PAIRS, values)
+
+
+class TestThreshold:
+    def test_threshold_covers_requested_fraction(self):
+        values = np.array([100, 80, 60, 40, 20, 10, 5, 5, 4, 3, 2, 1], dtype=float)
+        truth = matrix(values)
+        threshold = top_demand_threshold(truth, 0.9)
+        retained = values[values >= threshold]
+        assert retained.sum() >= 0.9 * values.sum()
+
+    def test_full_fraction_returns_smallest_value(self):
+        truth = matrix(np.arange(1, 13, dtype=float))
+        assert top_demand_threshold(truth, 1.0) == pytest.approx(1.0)
+
+
+class TestRelativeErrors:
+    def test_per_pair_errors(self):
+        truth = matrix(np.full(12, 10.0))
+        estimate = matrix(np.full(12, 12.0))
+        errors = relative_errors(estimate, truth)
+        assert len(errors) == 12
+        assert all(v == pytest.approx(0.2) for v in errors.values())
+
+    def test_zero_true_demands_skipped(self):
+        values = np.full(12, 10.0)
+        values[0] = 0.0
+        truth = matrix(values)
+        estimate = matrix(np.full(12, 10.0))
+        errors = relative_errors(estimate, truth)
+        assert PAIRS[0] not in errors
+
+    def test_threshold_filters_small_demands(self):
+        values = np.arange(1, 13, dtype=float)
+        truth = matrix(values)
+        estimate = matrix(values)
+        errors = relative_errors(estimate, truth, threshold=6.0)
+        assert len(errors) == 6
+
+    def test_alignment_checked(self):
+        truth = matrix(np.ones(12))
+        other = TrafficMatrix(PAIRS[:6], np.ones(6))
+        with pytest.raises(EstimationError):
+            relative_errors(other, truth)
+
+
+class TestMRE:
+    def test_perfect_estimate_has_zero_mre(self):
+        truth = matrix(np.arange(1, 13, dtype=float))
+        assert mean_relative_error(truth, truth) == pytest.approx(0.0)
+
+    def test_uniform_overestimate(self):
+        truth = matrix(np.full(12, 10.0))
+        estimate = matrix(np.full(12, 15.0))
+        assert mean_relative_error(estimate, truth) == pytest.approx(0.5)
+
+    def test_only_large_demands_counted(self):
+        # One dominant demand estimated perfectly; tiny demands estimated terribly.
+        values = np.ones(12)
+        values[0] = 1000.0
+        truth = matrix(values)
+        estimate_values = np.full(12, 100.0)
+        estimate_values[0] = 1000.0
+        estimate = matrix(estimate_values)
+        assert mean_relative_error(estimate, truth, traffic_fraction=0.9) == pytest.approx(0.0)
+
+    def test_explicit_threshold_overrides_fraction(self):
+        truth = matrix(np.arange(1, 13, dtype=float))
+        estimate = matrix(np.arange(1, 13, dtype=float) * 2.0)
+        # Threshold 10 keeps only the two largest demands; both are off by 100 %.
+        assert mean_relative_error(estimate, truth, threshold=10.0) == pytest.approx(1.0)
+        # A threshold above every demand leaves nothing to average over.
+        with pytest.raises(EstimationError):
+            mean_relative_error(estimate, truth, threshold=100.0)
+
+    def test_mre_matches_manual_computation(self):
+        truth_values = np.array([100, 50, 25, 10, 1, 1, 1, 1, 1, 1, 1, 1], dtype=float)
+        estimate_values = truth_values.copy()
+        estimate_values[0] = 110.0  # +10 %
+        estimate_values[1] = 40.0  # -20 %
+        truth, estimate = matrix(truth_values), matrix(estimate_values)
+        threshold = top_demand_threshold(truth, 0.9)
+        manual = np.mean([0.1, 0.2, 0.0])  # demands 100, 50, 25 exceed the threshold
+        assert mean_relative_error(estimate, truth, traffic_fraction=0.9) == pytest.approx(
+            manual, abs=1e-9
+        )
+
+
+class TestOtherMetrics:
+    def test_rmse(self):
+        truth = matrix(np.zeros(12))
+        estimate = matrix(np.full(12, 2.0))
+        assert root_mean_square_error(estimate, truth) == pytest.approx(2.0)
+
+    def test_ranking_correlation_perfect_and_inverted(self):
+        truth = matrix(np.arange(1, 13, dtype=float))
+        assert demand_ranking_correlation(truth, truth) == pytest.approx(1.0)
+        inverted = matrix(np.arange(12, 0, -1, dtype=float))
+        assert demand_ranking_correlation(inverted, truth) == pytest.approx(-1.0)
+
+    def test_alignment_checked(self):
+        truth = matrix(np.ones(12))
+        other = TrafficMatrix(PAIRS[:6], np.ones(6))
+        with pytest.raises(EstimationError):
+            root_mean_square_error(other, truth)
+        with pytest.raises(EstimationError):
+            demand_ranking_correlation(other, truth)

@@ -1,0 +1,99 @@
+"""Tests for the distributed collector and measurement archive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement import DistributedCollector, MeasurementArchive
+from repro.routing import build_routing_matrix
+from repro.topology import NodePair
+from repro.traffic import TrafficMatrix, TrafficMatrixSeries
+
+
+class TestArchive:
+    def test_record_and_query(self):
+        archive = MeasurementArchive()
+        archive.record("link", 0.0, 10.0)
+        archive.record("link", 300.0, 20.0)
+        assert archive.objects() == ("link",)
+        assert archive.num_samples("link") == 2
+        assert archive.samples("link")[1] == (300.0, 20.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(MeasurementError):
+            MeasurementArchive().record("link", 0.0, -5.0)
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(MeasurementError):
+            MeasurementArchive().samples("nope")
+
+    def test_rates_matrix_requires_equal_lengths(self):
+        archive = MeasurementArchive()
+        archive.record("a", 0.0, 1.0)
+        archive.record("a", 300.0, 2.0)
+        archive.record("b", 0.0, 3.0)
+        with pytest.raises(MeasurementError):
+            archive.rates_matrix(["a", "b"])
+        matrix = archive.rates_matrix(["a"])
+        assert matrix.shape == (2, 1)
+
+
+@pytest.fixture
+def line_series(line_network):
+    snapshots = [
+        TrafficMatrix.from_network(
+            line_network, {NodePair("A", "D"): 100.0 + 10.0 * k, NodePair("D", "A"): 50.0}
+        )
+        for k in range(4)
+    ]
+    return TrafficMatrixSeries(snapshots)
+
+
+class TestDistributedCollector:
+    def test_end_to_end_reconstruction(self, line_network, line_series):
+        routing = build_routing_matrix(line_network)
+        collector = DistributedCollector(
+            routing, num_pollers=2, jitter_std_seconds=0.0, loss_probability=0.0, seed=1
+        )
+        collector.collect(line_series)
+
+        measured = collector.measured_traffic_series()
+        assert len(measured) == len(line_series)
+        truth = line_series.as_array()
+        recovered = measured.as_array()
+        assert np.allclose(recovered, truth, rtol=1e-6, atol=1e-3)
+
+        loads = collector.measured_link_loads()
+        assert loads.shape == (len(line_series), routing.num_links)
+        expected = routing.link_loads(line_series[0].vector)
+        assert np.allclose(loads[0], expected, rtol=1e-6, atol=1e-3)
+
+    def test_reconstruction_with_jitter_and_loss(self, line_network, line_series):
+        routing = build_routing_matrix(line_network)
+        collector = DistributedCollector(
+            routing, num_pollers=3, jitter_std_seconds=2.0, loss_probability=0.1, seed=2
+        )
+        collector.collect(line_series)
+        measured = collector.measured_traffic_series()
+        assert np.allclose(measured.as_array(), line_series.as_array(), rtol=0.15, atol=1.0)
+
+    def test_pair_mismatch_rejected(self, line_network, triangle_network):
+        routing = build_routing_matrix(line_network)
+        collector = DistributedCollector(routing, seed=3)
+        series = TrafficMatrixSeries([TrafficMatrix.zeros(triangle_network.node_pairs())])
+        with pytest.raises(MeasurementError):
+            collector.collect(series)
+
+    def test_at_least_one_poller_required(self, line_network):
+        routing = build_routing_matrix(line_network)
+        with pytest.raises(MeasurementError):
+            DistributedCollector(routing, num_pollers=0)
+
+    def test_objects_spread_over_pollers(self, line_network):
+        routing = build_routing_matrix(line_network)
+        collector = DistributedCollector(routing, num_pollers=3, seed=4)
+        per_poller = [len(p.object_names) for p in collector.pollers]
+        assert sum(per_poller) == routing.num_pairs + routing.num_links
+        assert max(per_poller) - min(per_poller) <= 1

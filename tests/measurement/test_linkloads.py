@@ -1,0 +1,104 @@
+"""Tests for link-load computation and noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement import (
+    GaussianNoiseModel,
+    LinkLoadObservation,
+    NoiselessModel,
+    link_load_series,
+    link_loads_from_matrix,
+)
+from repro.routing import build_routing_matrix
+from repro.topology import NodePair
+from repro.traffic import TrafficMatrix, TrafficMatrixSeries
+
+
+class TestObservation:
+    def test_basic_access(self):
+        obs = LinkLoadObservation(link_names=("a", "b"), loads=np.array([1.0, 2.0]))
+        assert obs.load_of("b") == 2.0
+        assert obs.total() == 3.0
+
+    def test_unknown_link_rejected(self):
+        obs = LinkLoadObservation(link_names=("a",), loads=np.array([1.0]))
+        with pytest.raises(MeasurementError):
+            obs.load_of("z")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MeasurementError):
+            LinkLoadObservation(link_names=("a", "b"), loads=np.array([1.0]))
+
+    def test_negative_loads_rejected(self):
+        with pytest.raises(MeasurementError):
+            LinkLoadObservation(link_names=("a",), loads=np.array([-1.0]))
+
+
+class TestComputation:
+    def test_consistent_with_routing_matrix(self, line_network):
+        routing = build_routing_matrix(line_network)
+        demands = {NodePair("A", "D"): 10.0, NodePair("B", "C"): 4.0}
+        traffic = TrafficMatrix.from_network(line_network, demands)
+        obs = link_loads_from_matrix(routing, traffic)
+        assert obs.load_of("A->B") == pytest.approx(10.0)
+        assert obs.load_of("B->C") == pytest.approx(14.0)
+        assert obs.load_of("C->D") == pytest.approx(10.0)
+        assert obs.load_of("D->C") == pytest.approx(0.0)
+
+    def test_pair_order_mismatch_rejected(self, line_network, triangle_network):
+        routing = build_routing_matrix(line_network)
+        traffic = TrafficMatrix.zeros(triangle_network.node_pairs())
+        with pytest.raises(MeasurementError):
+            link_loads_from_matrix(routing, traffic)
+
+    def test_series_computation(self, line_network):
+        routing = build_routing_matrix(line_network)
+        snapshots = [
+            TrafficMatrix.from_network(line_network, {NodePair("A", "D"): float(k)})
+            for k in range(1, 4)
+        ]
+        series = TrafficMatrixSeries(snapshots)
+        loads = link_load_series(routing, series)
+        assert loads.shape == (3, routing.num_links)
+        index = list(routing.link_names).index("A->B")
+        assert np.allclose(loads[:, index], [1.0, 2.0, 3.0])
+
+    def test_series_pair_mismatch_rejected(self, line_network, triangle_network):
+        routing = build_routing_matrix(line_network)
+        series = TrafficMatrixSeries([TrafficMatrix.zeros(triangle_network.node_pairs())])
+        with pytest.raises(MeasurementError):
+            link_load_series(routing, series)
+
+
+class TestNoiseModels:
+    def test_noiseless_is_identity(self):
+        loads = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(NoiselessModel().apply(loads, np.random.default_rng(0)), loads)
+
+    def test_gaussian_noise_perturbs_but_stays_non_negative(self):
+        loads = np.full(1000, 10.0)
+        noisy = GaussianNoiseModel(relative_std=0.05).apply(loads, np.random.default_rng(1))
+        assert noisy.shape == loads.shape
+        assert np.all(noisy >= 0)
+        assert not np.allclose(noisy, loads)
+        assert abs(noisy.mean() - 10.0) < 0.2
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(MeasurementError):
+            GaussianNoiseModel(relative_std=-0.1)
+
+    def test_noise_applied_through_pipeline(self, line_network):
+        routing = build_routing_matrix(line_network)
+        traffic = TrafficMatrix.from_network(line_network, {NodePair("A", "D"): 100.0})
+        noisy = link_loads_from_matrix(
+            routing,
+            traffic,
+            noise=GaussianNoiseModel(relative_std=0.1),
+            rng=np.random.default_rng(2),
+        )
+        clean = link_loads_from_matrix(routing, traffic)
+        assert not np.allclose(noisy.loads, clean.loads)

@@ -1,0 +1,106 @@
+"""Tests for the SNMP counter/poller simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement import CounterState, PollResult, SNMPPoller, rates_from_polls
+
+
+class TestCounterState:
+    def test_advance_accumulates_bytes(self):
+        counter = CounterState("link")
+        counter.advance(rate_mbps=8.0, duration_seconds=1.0)  # 1 MB
+        assert counter.value_bytes == 1_000_000
+        counter.advance(rate_mbps=8.0, duration_seconds=1.0)
+        assert counter.value_bytes == 2_000_000
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(MeasurementError):
+            CounterState("link").advance(-1.0, 1.0)
+
+    def test_counter_wraps_at_64_bits(self):
+        counter = CounterState("link", value_bytes=2**64 - 10)
+        counter.advance(rate_mbps=8.0, duration_seconds=1.0)
+        assert 0 <= counter.value_bytes < 2**64
+
+
+class TestPoller:
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            SNMPPoller([])
+        with pytest.raises(MeasurementError):
+            SNMPPoller(["a", "a"])
+        with pytest.raises(MeasurementError):
+            SNMPPoller(["a"], interval_seconds=0)
+        with pytest.raises(MeasurementError):
+            SNMPPoller(["a"], loss_probability=1.0)
+        with pytest.raises(MeasurementError):
+            SNMPPoller(["a"], jitter_std_seconds=-1.0)
+
+    def test_poll_returns_one_result_per_object(self):
+        poller = SNMPPoller(["a", "b"], seed=1)
+        results = poller.poll(0.0)
+        assert {r.object_name for r in results} == {"a", "b"}
+        assert all(not r.lost for r in results)
+
+    def test_unknown_counter_rejected(self):
+        poller = SNMPPoller(["a"], seed=1)
+        with pytest.raises(MeasurementError):
+            poller.counter("z")
+
+    def test_loss_probability_produces_lost_polls(self):
+        poller = SNMPPoller([f"o{i}" for i in range(200)], loss_probability=0.3, seed=2)
+        results = poller.poll(0.0)
+        lost = sum(r.lost for r in results)
+        assert 20 < lost < 120
+
+    def test_run_schedule_produces_rounds(self):
+        poller = SNMPPoller(["a"], interval_seconds=300.0, jitter_std_seconds=0.0, seed=3)
+        rounds = poller.run_schedule([{"a": 100.0}, {"a": 200.0}], start_time=0.0)
+        assert len(rounds) == 3
+
+
+class TestRatesFromPolls:
+    def run_pipeline(self, rates, loss=0.0, jitter=0.0, seed=0):
+        poller = SNMPPoller(
+            ["x"], interval_seconds=300.0, jitter_std_seconds=jitter, loss_probability=loss, seed=seed
+        )
+        rounds = poller.run_schedule([{"x": r} for r in rates], start_time=0.0)
+        return rates_from_polls(rounds, ["x"])
+
+    def test_exact_recovery_without_jitter(self):
+        recovered = self.run_pipeline([100.0, 250.0, 50.0])
+        assert recovered.shape == (3, 1)
+        assert np.allclose(recovered[:, 0], [100.0, 250.0, 50.0], rtol=1e-6)
+
+    def test_jitter_adjustment_keeps_rates_close(self):
+        recovered = self.run_pipeline([100.0] * 10, jitter=3.0, seed=5)
+        assert np.allclose(recovered[:, 0], 100.0, rtol=0.05)
+
+    def test_lost_polls_are_interpolated(self):
+        recovered = self.run_pipeline([100.0] * 20, loss=0.3, seed=7)
+        assert recovered.shape == (20, 1)
+        assert np.all(np.isfinite(recovered))
+        assert np.allclose(recovered[:, 0], 100.0, rtol=0.2)
+
+    def test_requires_two_rounds(self):
+        poller = SNMPPoller(["x"], seed=1)
+        with pytest.raises(MeasurementError):
+            rates_from_polls([poller.poll(0.0)], ["x"])
+
+    def test_missing_object_in_round_rejected(self):
+        round_a = [PollResult("x", 0.0, 0.0, 0)]
+        round_b = [PollResult("y", 300.0, 300.0, 0)]
+        with pytest.raises(MeasurementError):
+            rates_from_polls([round_a, round_b], ["x"])
+
+    def test_all_lost_rejected(self):
+        rounds = [
+            [PollResult("x", 0.0, 0.0, None)],
+            [PollResult("x", 300.0, 300.0, None)],
+        ]
+        with pytest.raises(MeasurementError):
+            rates_from_polls(rounds, ["x"])

@@ -1,0 +1,105 @@
+"""Tests for constrained least squares and the non-negative QP solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.optimize import (
+    constrained_nnls,
+    equality_constrained_least_squares,
+    nonnegative_quadratic_program,
+)
+
+
+class TestEqualityConstrainedLS:
+    def test_constraint_satisfied_exactly(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(10, 4))
+        b = rng.normal(size=10)
+        E = np.ones((1, 4))
+        f = np.array([1.0])
+        result = equality_constrained_least_squares(A, b, E, f)
+        assert result.equality_violation < 1e-8
+        assert result.x.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_reduces_to_least_squares_without_binding_constraint(self):
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(12, 3))
+        x_true = np.array([1.0, 2.0, 3.0])
+        b = A @ x_true
+        E = np.array([[1.0, 1.0, 1.0]])
+        f = np.array([6.0])  # already satisfied by the LS solution
+        result = equality_constrained_least_squares(A, b, E, f)
+        assert np.allclose(result.x, x_true, atol=1e-8)
+        assert result.residual_norm < 1e-8
+
+    def test_shape_validation(self):
+        with pytest.raises(SolverError):
+            equality_constrained_least_squares(np.ones((3, 2)), np.ones(3), np.ones((1, 3)), np.ones(1))
+        with pytest.raises(SolverError):
+            equality_constrained_least_squares(np.ones((3, 2)), np.ones(2), np.ones((1, 2)), np.ones(1))
+
+
+class TestConstrainedNNLS:
+    def test_simplex_constraint_and_nonnegativity(self):
+        rng = np.random.default_rng(2)
+        A = rng.normal(size=(20, 5))
+        x_true = np.array([0.5, 0.3, 0.2, 0.0, 0.0])
+        b = A @ x_true
+        E = np.ones((1, 5))
+        f = np.array([1.0])
+        result = constrained_nnls(A, b, E, f)
+        assert np.all(result.x >= -1e-9)
+        assert result.x.sum() == pytest.approx(1.0, abs=1e-3)
+        assert np.allclose(result.x, x_true, atol=1e-2)
+
+    def test_explicit_penalty_weight(self):
+        A = np.eye(3)
+        b = np.array([1.0, 2.0, 3.0])
+        E = np.ones((1, 3))
+        f = np.array([6.0])
+        result = constrained_nnls(A, b, E, f, penalty_weight=1e6)
+        assert result.equality_violation < 1e-3
+
+    def test_invalid_penalty_rejected(self):
+        with pytest.raises(SolverError):
+            constrained_nnls(np.eye(2), np.ones(2), np.ones((1, 2)), np.ones(1), penalty_weight=-1.0)
+
+
+class TestNonnegativeQP:
+    def test_matches_unconstrained_solution_when_interior(self):
+        rng = np.random.default_rng(3)
+        root = rng.normal(size=(6, 6))
+        G = root.T @ root + np.eye(6)
+        x_true = np.abs(rng.normal(size=6)) + 0.5
+        h = G @ x_true
+        result = nonnegative_quadratic_program(G, h, tolerance=1e-14)
+        assert np.allclose(result.x, x_true, atol=1e-4)
+        assert result.converged
+
+    def test_clamps_at_zero_when_unconstrained_solution_negative(self):
+        G = np.eye(2)
+        h = np.array([-1.0, 2.0])
+        result = nonnegative_quadratic_program(G, h)
+        assert result.x[0] == pytest.approx(0.0, abs=1e-8)
+        assert result.x[1] == pytest.approx(2.0, abs=1e-6)
+
+    def test_objective_value_reported(self):
+        G = np.eye(2)
+        h = np.array([1.0, 1.0])
+        result = nonnegative_quadratic_program(G, h)
+        assert result.objective == pytest.approx(-2.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            nonnegative_quadratic_program(np.ones((2, 3)), np.ones(2))
+        with pytest.raises(SolverError):
+            nonnegative_quadratic_program(np.eye(2), np.ones(3))
+        with pytest.raises(SolverError):
+            nonnegative_quadratic_program(np.array([[1.0, 2.0], [0.0, 1.0]]), np.ones(2))
+        with pytest.raises(SolverError):
+            nonnegative_quadratic_program(np.eye(2), np.ones(2), max_iterations=0)
+        with pytest.raises(SolverError):
+            nonnegative_quadratic_program(np.eye(2), np.ones(2), x0=np.ones(3))

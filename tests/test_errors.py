@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy and package metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    EstimationError,
+    MeasurementError,
+    ReproError,
+    RoutingError,
+    SolverError,
+    TopologyError,
+    TrafficError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [TopologyError, RoutingError, TrafficError, MeasurementError, EstimationError, SolverError],
+    )
+    def test_all_errors_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, ReproError)
+        with pytest.raises(ReproError):
+            raise error_class("boom")
+
+    def test_subsystem_errors_are_distinct(self):
+        assert not issubclass(TopologyError, RoutingError)
+        assert not issubclass(SolverError, EstimationError)
+
+    def test_catching_base_class_catches_library_failures(self):
+        from repro.topology import Node
+
+        with pytest.raises(ReproError):
+            Node(name="")
+
+
+class TestPackageMetadata:
+    def test_version_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_error_classes_exported_at_top_level(self):
+        for name in (
+            "ReproError",
+            "TopologyError",
+            "RoutingError",
+            "TrafficError",
+            "MeasurementError",
+            "EstimationError",
+            "SolverError",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)

@@ -1,0 +1,157 @@
+"""Unit tests for the Network container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Link, LinkKind, Network, Node, NodePair, NodeRole
+
+
+def build_square() -> Network:
+    network = Network("square")
+    for name in ("A", "B", "C", "D"):
+        network.add_node(Node(name=name))
+    for a, b in (("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")):
+        network.add_bidirectional_link(Link(source=a, target=b))
+    return network
+
+
+class TestConstruction:
+    def test_counts(self):
+        network = build_square()
+        assert network.num_nodes == 4
+        assert network.num_links == 8
+        assert network.num_pairs == 12
+
+    def test_duplicate_node_rejected(self):
+        network = Network("n")
+        network.add_node(Node(name="A"))
+        with pytest.raises(TopologyError):
+            network.add_node(Node(name="A"))
+
+    def test_duplicate_link_rejected(self):
+        network = Network("n", nodes=[Node(name="A"), Node(name="B")])
+        network.add_link(Link(source="A", target="B"))
+        with pytest.raises(TopologyError):
+            network.add_link(Link(source="A", target="B"))
+
+    def test_link_with_unknown_endpoint_rejected(self):
+        network = Network("n", nodes=[Node(name="A")])
+        with pytest.raises(TopologyError):
+            network.add_link(Link(source="A", target="Z"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            Network("")
+
+
+class TestAccess:
+    def test_node_and_link_lookup(self):
+        network = build_square()
+        assert network.node("A").name == "A"
+        assert network.link("A->B").target == "B"
+        assert network.find_link("B", "C").name == "B->C"
+        assert network.has_node("A") and not network.has_node("Z")
+        assert network.has_link("A->B") and not network.has_link("A->C")
+
+    def test_unknown_lookups_raise(self):
+        network = build_square()
+        with pytest.raises(TopologyError):
+            network.node("Z")
+        with pytest.raises(TopologyError):
+            network.link("Z->Z")
+        with pytest.raises(TopologyError):
+            network.find_link("A", "C")
+        with pytest.raises(TopologyError):
+            network.link_index("nope")
+
+    def test_link_index_matches_insertion_order(self):
+        network = build_square()
+        for idx, name in enumerate(network.link_names):
+            assert network.link_index(name) == idx
+
+    def test_adjacency(self):
+        network = build_square()
+        outgoing = {link.target for link in network.outgoing_links("A")}
+        incoming = {link.source for link in network.incoming_links("A")}
+        assert outgoing == {"B", "D"}
+        assert incoming == {"B", "D"}
+        assert network.degree("A") == 2
+
+    def test_roles_partition_nodes(self):
+        network = Network("roles")
+        network.add_node(Node(name="acc", role=NodeRole.ACCESS))
+        network.add_node(Node(name="peer", role=NodeRole.PEERING))
+        network.add_node(Node(name="transit", role=NodeRole.TRANSIT))
+        assert [n.name for n in network.access_nodes] == ["acc"]
+        assert [n.name for n in network.peering_nodes] == ["peer"]
+        assert [n.name for n in network.transit_nodes] == ["transit"]
+        assert {n.name for n in network.edge_nodes} == {"acc", "peer"}
+
+    def test_contains_iter_len(self):
+        network = build_square()
+        assert "A" in network and "A->B" in network and "Z" not in network
+        assert len(network) == 4
+        assert [node.name for node in network] == ["A", "B", "C", "D"]
+
+
+class TestPairs:
+    def test_pair_enumeration_excludes_diagonal_and_transit(self):
+        network = build_square()
+        network.add_node(Node(name="T", role=NodeRole.TRANSIT))
+        pairs = network.node_pairs()
+        assert len(pairs) == 12
+        assert all(pair.origin != pair.destination for pair in pairs)
+        assert all("T" not in (pair.origin, pair.destination) for pair in pairs)
+
+    def test_pair_index_is_positional(self):
+        network = build_square()
+        index = network.pair_index()
+        for position, pair in enumerate(network.node_pairs()):
+            assert index[pair] == position
+
+
+class TestValidationAndViews:
+    def test_valid_network_passes(self):
+        network = build_square()
+        network.validate()
+        assert network.is_connected()
+
+    def test_disconnected_network_fails(self):
+        network = Network("broken", nodes=[Node(name="A"), Node(name="B")])
+        assert not network.is_connected()
+        with pytest.raises(TopologyError):
+            network.validate()
+
+    def test_single_edge_node_fails_validation(self):
+        network = Network("single", nodes=[Node(name="A")])
+        with pytest.raises(TopologyError):
+            network.validate()
+
+    def test_to_networkx_carries_attributes(self):
+        network = build_square()
+        graph = network.to_networkx()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 8
+        assert graph.edges["A", "B"]["capacity_mbps"] == 10_000.0
+
+    def test_subnetwork_drops_external_links(self):
+        network = build_square()
+        sub = network.subnetwork("ab", ["A", "B"])
+        assert sub.num_nodes == 2
+        assert {link.name for link in sub.links} == {"A->B", "B->A"}
+
+    def test_subnetwork_with_unknown_node_rejected(self):
+        with pytest.raises(TopologyError):
+            build_square().subnetwork("bad", ["A", "Z"])
+
+    def test_total_capacity(self):
+        network = build_square()
+        assert network.total_capacity() == pytest.approx(8 * 10_000.0)
+
+    def test_interior_links_filter(self):
+        network = Network("mixed", nodes=[Node(name="A"), Node(name="B")])
+        network.add_link(Link(source="A", target="B", kind=LinkKind.ACCESS))
+        network.add_link(Link(source="B", target="A", kind=LinkKind.INTERIOR))
+        assert [l.name for l in network.interior_links] == ["B->A"]

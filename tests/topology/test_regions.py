@@ -1,0 +1,109 @@
+"""Tests for region extraction and PoP aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Link,
+    Network,
+    Node,
+    NodePair,
+    NodeRole,
+    aggregate_demands_to_pops,
+    aggregate_to_pops,
+    extract_region,
+)
+
+
+@pytest.fixture
+def global_network() -> Network:
+    """Two routers per city in two regions, interconnected."""
+    network = Network("global")
+    specs = [
+        ("LON-cr1", "LON", "europe", NodeRole.ACCESS),
+        ("LON-cr2", "LON", "europe", NodeRole.PEERING),
+        ("FRA-cr1", "FRA", "europe", NodeRole.ACCESS),
+        ("NYC-cr1", "NYC", "america", NodeRole.ACCESS),
+        ("NYC-cr2", "NYC", "america", NodeRole.TRANSIT),
+        ("CHI-cr1", "CHI", "america", NodeRole.ACCESS),
+    ]
+    for name, city, region, role in specs:
+        network.add_node(Node(name=name, city=city, region=region, role=role, population=1.0))
+    links = [
+        ("LON-cr1", "LON-cr2", 10_000.0),
+        ("LON-cr1", "FRA-cr1", 10_000.0),
+        ("LON-cr2", "FRA-cr1", 2_500.0),
+        ("NYC-cr1", "NYC-cr2", 10_000.0),
+        ("NYC-cr2", "CHI-cr1", 10_000.0),
+        ("NYC-cr1", "CHI-cr1", 2_500.0),
+        ("LON-cr2", "NYC-cr1", 10_000.0),  # transatlantic
+    ]
+    for a, b, capacity in links:
+        network.add_bidirectional_link(Link(source=a, target=b, capacity_mbps=capacity))
+    return network
+
+
+class TestExtractRegion:
+    def test_keeps_only_region_nodes_and_internal_links(self, global_network):
+        europe = extract_region(global_network, "europe")
+        assert {n.name for n in europe.nodes} == {"LON-cr1", "LON-cr2", "FRA-cr1"}
+        assert all(
+            link.source in europe.node_names and link.target in europe.node_names
+            for link in europe.links
+        )
+        # The transatlantic link must be gone.
+        assert not europe.has_link("LON-cr2->NYC-cr1")
+
+    def test_custom_name(self, global_network):
+        assert extract_region(global_network, "europe", name="eu").name == "eu"
+
+    def test_unknown_region_rejected(self, global_network):
+        with pytest.raises(TopologyError):
+            extract_region(global_network, "asia")
+
+
+class TestAggregateToPops:
+    def test_cities_become_single_nodes(self, global_network):
+        pops = aggregate_to_pops(global_network)
+        assert {n.name for n in pops.nodes} == {"LON", "FRA", "NYC", "CHI"}
+
+    def test_intra_pop_links_disappear(self, global_network):
+        pops = aggregate_to_pops(global_network)
+        assert not pops.has_link("LON->LON")
+        for link in pops.links:
+            assert link.source != link.target
+
+    def test_parallel_links_merge_capacity_and_min_metric(self, global_network):
+        pops = aggregate_to_pops(global_network)
+        merged = pops.find_link("LON", "FRA")
+        assert merged.capacity_mbps == pytest.approx(12_500.0)
+
+    def test_strongest_role_wins(self, global_network):
+        pops = aggregate_to_pops(global_network)
+        assert pops.node("LON").role is NodeRole.PEERING
+        assert pops.node("NYC").role is NodeRole.ACCESS
+
+    def test_populations_sum(self, global_network):
+        pops = aggregate_to_pops(global_network)
+        assert pops.node("LON").population == pytest.approx(2.0)
+
+
+class TestAggregateDemands:
+    def test_inter_pop_demands_sum(self, global_network):
+        demands = {
+            NodePair("LON-cr1", "NYC-cr1"): 10.0,
+            NodePair("LON-cr2", "NYC-cr1"): 5.0,
+            NodePair("LON-cr1", "LON-cr2"): 99.0,  # intra-PoP, must vanish
+        }
+        aggregated = aggregate_demands_to_pops(global_network, demands)
+        assert aggregated == {NodePair("LON", "NYC"): 15.0}
+
+    def test_negative_demand_rejected(self, global_network):
+        with pytest.raises(TopologyError):
+            aggregate_demands_to_pops(global_network, {NodePair("LON-cr1", "NYC-cr1"): -1.0})
+
+    def test_unknown_node_rejected(self, global_network):
+        with pytest.raises(TopologyError):
+            aggregate_demands_to_pops(global_network, {NodePair("X", "NYC-cr1"): 1.0})

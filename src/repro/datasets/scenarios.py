@@ -12,24 +12,54 @@ ties together
 From these it derives the observable quantities the estimators are allowed
 to see — link-load snapshots and series, edge-node totals — packaged as
 :class:`~repro.estimation.base.EstimationProblem` objects, and the ground
-truth they are scored against.
+truth they are scored against.  :meth:`Scenario.sweep` scores every
+registered estimation method (or a chosen subset) over the series using the
+batched ``estimate_series`` path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import TrafficError
-from repro.estimation.base import EstimationProblem
+from repro.errors import EstimationError, SolverError, TrafficError
+from repro.estimation.base import EstimationProblem, SeriesEstimationResult
 from repro.measurement.linkloads import link_load_series
 from repro.routing.routing_matrix import RoutingMatrix
 from repro.topology.network import Network
 from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSeries
 
-__all__ = ["Scenario"]
+__all__ = ["Scenario", "SweepRecord"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """Score of one estimation method over a scenario's series.
+
+    Attributes
+    ----------
+    method:
+        Registry name of the method.
+    mre:
+        Mean relative error of the mean estimate against the window-mean
+        truth (the paper's headline metric), or ``NaN`` when skipped.
+    per_snapshot_mre:
+        MRE of each snapshot's estimate against that snapshot's truth.
+    error:
+        Why the method was skipped (empty when it ran).
+    """
+
+    method: str
+    mre: float
+    per_snapshot_mre: np.ndarray
+    error: str = ""
+
+    @property
+    def skipped(self) -> bool:
+        """Whether the method could not run on this scenario's data."""
+        return bool(self.error)
 
 
 @dataclass
@@ -113,19 +143,29 @@ class Scenario:
     ) -> EstimationProblem:
         """Estimation problem exposing a link-load time series.
 
-        Used by the fanout and Vardi estimators.  The series defaults to the
-        busy period; ``window_length`` truncates it.  Per-snapshot origin
-        ingress totals are included (they are observable from access links).
+        Used by the time-series estimators (fanout, Vardi) and by the
+        batched ``estimate_series`` path.  The series defaults to the busy
+        period; ``window_length`` truncates it.  Per-snapshot origin ingress
+        and destination egress totals are included (both are observable from
+        the edge links), all computed vectorised from the demand array.
         """
         series = series if series is not None else self.busy_series()
         if window_length is not None:
             series = series.window(0, window_length)
         loads = link_load_series(self.routing, series)
+        demands = series.as_array()  # (K, P)
         origins = tuple(dict.fromkeys(pair.origin for pair in series.pairs))
-        totals = np.zeros((len(series), len(origins)))
-        for k, snapshot in enumerate(series):
-            origin_totals = snapshot.origin_totals()
-            totals[k] = [origin_totals.get(origin, 0.0) for origin in origins]
+        destinations = tuple(dict.fromkeys(pair.destination for pair in series.pairs))
+        origin_index = {name: idx for idx, name in enumerate(origins)}
+        destination_index = {name: idx for idx, name in enumerate(destinations)}
+        origin_cols = np.array([origin_index[pair.origin] for pair in series.pairs])
+        destination_cols = np.array(
+            [destination_index[pair.destination] for pair in series.pairs]
+        )
+        origin_series = np.zeros((len(series), len(origins)))
+        np.add.at(origin_series.T, origin_cols, demands.T)
+        destination_series = np.zeros((len(series), len(destinations)))
+        np.add.at(destination_series.T, destination_cols, demands.T)
         mean_matrix = series.mean_matrix()
         origin_totals, destination_totals = self._edge_totals(mean_matrix)
         return EstimationProblem(
@@ -134,9 +174,91 @@ class Scenario:
             link_load_series=loads,
             origin_totals=origin_totals,
             destination_totals=destination_totals,
-            origin_totals_series=totals,
+            origin_totals_series=origin_series,
             origin_names=origins,
+            destination_totals_series=destination_series,
+            destination_names=destinations,
         )
+
+    # ------------------------------------------------------------------
+    # method sweeps
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        methods: Optional[Sequence[Union[str, tuple[str, Mapping]]]] = None,
+        window_length: Optional[int] = None,
+        skip_errors: bool = True,
+    ) -> list[SweepRecord]:
+        """Score estimation methods over the busy-period series.
+
+        Every method runs through its batched
+        :meth:`~repro.estimation.base.Estimator.estimate_series` path on one
+        shared series problem and is scored against the per-snapshot ground
+        truth, so new methods added to the registry are picked up without
+        touching any runner code.
+
+        Parameters
+        ----------
+        methods:
+            Method names (or ``(name, params)`` tuples) to run; defaults to
+            every registered estimator.
+        window_length:
+            Truncate the busy-period series to this many snapshots.
+        skip_errors:
+            When ``True`` (default), methods that cannot run on this
+            scenario's observables (or need constructor arguments) are
+            reported as skipped records instead of raising.
+        """
+        from repro.estimation.registry import available_estimators, get_estimator
+        from repro.evaluation.metrics import mean_relative_error
+
+        if methods is None:
+            methods = available_estimators()
+        problem = self.series_problem(window_length=window_length)
+        truth_series = self.busy_series()
+        if window_length is not None:
+            truth_series = truth_series.window(0, window_length)
+        truth_snapshots = [truth_series[k] for k in range(len(truth_series))]
+        truth_mean = truth_series.mean_matrix()
+
+        def skip_record(name: str, exc: Exception) -> SweepRecord:
+            return SweepRecord(
+                method=name,
+                mre=float("nan"),
+                per_snapshot_mre=np.array([]),
+                error=str(exc),
+            )
+
+        records: list[SweepRecord] = []
+        for entry in methods:
+            name, params = entry if isinstance(entry, tuple) else (entry, {})
+            try:
+                # TypeError here means the params do not fit the estimator's
+                # constructor signature; past this point it would be a bug.
+                estimator = get_estimator(name, **dict(params))
+            except (EstimationError, TypeError) as exc:
+                if not skip_errors:
+                    raise
+                records.append(skip_record(name, exc))
+                continue
+            try:
+                result: SeriesEstimationResult = estimator.estimate_series(problem)
+                per_snapshot = np.array(
+                    [
+                        mean_relative_error(result.matrix(k), truth_snapshots[k])
+                        for k in range(len(result))
+                    ]
+                )
+                mre = mean_relative_error(result.mean_matrix(), truth_mean)
+            except (EstimationError, SolverError) as exc:
+                if not skip_errors:
+                    raise
+                records.append(skip_record(name, exc))
+                continue
+            records.append(
+                SweepRecord(method=name, mre=mre, per_snapshot_mre=per_snapshot)
+            )
+        return records
 
     # ------------------------------------------------------------------
     # descriptive statistics used by the data-analysis figures

@@ -25,9 +25,20 @@ interface and consumes an :class:`~repro.estimation.base.EstimationProblem`:
   demand measurements (Section 5.3.6);
 * :class:`~repro.estimation.tomogravity.TomogravityEstimator` — the
   gravity-prior + regularised-fit pipeline in one call.
+
+Every method registers itself by name in :mod:`repro.estimation.registry`
+(``register`` / ``get_estimator`` / ``available_estimators``), so runners
+and sweeps can compose method sets without hardcoding classes, and every
+method supports the batched ``estimate_series`` path (with vectorised or
+factor-once overrides where the mathematics allows).
 """
 
-from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.base import (
+    EstimationProblem,
+    EstimationResult,
+    Estimator,
+    SeriesEstimationResult,
+)
 from repro.estimation.bayesian import BayesianEstimator
 from repro.estimation.cao import CaoEstimator
 from repro.estimation.entropy import EntropyEstimator
@@ -36,6 +47,7 @@ from repro.estimation.gravity import (
     GeneralizedGravityEstimator,
     SimpleGravityEstimator,
     gravity_vector,
+    gravity_vector_series,
 )
 from repro.estimation.kruithof import KLProjectionEstimator, KruithofEstimator
 from repro.estimation.partial import (
@@ -50,6 +62,7 @@ from repro.estimation.priors import (
     uniform_prior,
     worst_case_bound_prior,
 )
+from repro.estimation.registry import available_estimators, get_estimator, register
 from repro.estimation.tomogravity import TomogravityEstimator, sweep_regularization
 from repro.estimation.vardi import VardiEstimator, link_load_moments
 from repro.estimation.worstcase import (
@@ -61,10 +74,15 @@ from repro.estimation.worstcase import (
 __all__ = [
     "EstimationProblem",
     "EstimationResult",
+    "SeriesEstimationResult",
     "Estimator",
+    "register",
+    "get_estimator",
+    "available_estimators",
     "SimpleGravityEstimator",
     "GeneralizedGravityEstimator",
     "gravity_vector",
+    "gravity_vector_series",
     "KruithofEstimator",
     "KLProjectionEstimator",
     "EntropyEstimator",

@@ -9,24 +9,39 @@ vector.  This module defines:
   to an estimator;
 * :class:`EstimationResult` — the estimate plus method metadata and
   diagnostics;
-* :class:`Estimator` — the abstract interface (``estimate(problem)``)
-  implemented by every method in :mod:`repro.estimation`.
+* :class:`SeriesEstimationResult` — a batch of per-snapshot estimates
+  produced by :meth:`Estimator.estimate_series`;
+* :class:`Estimator` — the abstract interface (``estimate(problem)`` for a
+  snapshot, ``estimate_series(problem)`` for a whole series) implemented by
+  every method in :mod:`repro.estimation`.
+
+The batched path matters at scale: ``estimate_series`` has a generic
+per-snapshot fallback, but estimators override it where one factorisation
+or one vectorised expression serves all ``K`` right-hand sides (Bayesian
+factors its normal equations once; gravity and Kruithof evaluate every
+snapshot's totals in single array operations).
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Union
 
 import numpy as np
+import scipy.sparse
 
 from repro.errors import EstimationError
 from repro.routing.routing_matrix import RoutingMatrix
 from repro.topology.elements import NodePair
 from repro.traffic.matrix import TrafficMatrix
 
-__all__ = ["EstimationProblem", "EstimationResult", "Estimator"]
+__all__ = [
+    "EstimationProblem",
+    "EstimationResult",
+    "SeriesEstimationResult",
+    "Estimator",
+]
 
 
 @dataclass(frozen=True)
@@ -55,9 +70,14 @@ class EstimationProblem:
     origin_totals_series:
         Optional time series of per-origin totals, shape ``(K, N_origins)``,
         with origins ordered as in ``origin_names``; used by fanout
-        estimation.
+        estimation and by the batched gravity/Kruithof paths.
     origin_names:
         Origin ordering for ``origin_totals_series``.
+    destination_totals_series:
+        Optional time series of per-destination totals, shape
+        ``(K, N_destinations)``; used by the batched gravity/Kruithof paths.
+    destination_names:
+        Destination ordering for ``destination_totals_series``.
     """
 
     routing: RoutingMatrix
@@ -67,6 +87,8 @@ class EstimationProblem:
     destination_totals: Optional[Mapping[str, float]] = None
     origin_totals_series: Optional[np.ndarray] = None
     origin_names: Optional[tuple[str, ...]] = None
+    destination_totals_series: Optional[np.ndarray] = None
+    destination_names: Optional[tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         num_links = self.routing.num_links
@@ -99,6 +121,17 @@ class EstimationProblem:
                     "origin_totals_series must have one column per origin name"
                 )
             object.__setattr__(self, "origin_totals_series", series)
+        if self.destination_totals_series is not None:
+            if self.destination_names is None:
+                raise EstimationError("destination_totals_series requires destination_names")
+            series = np.asarray(self.destination_totals_series, dtype=float)
+            if series.ndim != 2 or series.shape[1] != len(self.destination_names):
+                raise EstimationError(
+                    "destination_totals_series must have one column per destination name"
+                )
+            object.__setattr__(self, "destination_totals_series", series)
+        # Lazy caches (the dataclass is frozen, so set them via object.__setattr__).
+        object.__setattr__(self, "_augmented_cache", {})
 
     # ------------------------------------------------------------------
     @property
@@ -144,17 +177,36 @@ class EstimationProblem:
         if self.origin_totals is not None:
             return float(sum(self.origin_totals.values()))
         snapshot = self.snapshot
-        path_lengths = self.routing.matrix.sum(axis=0)
+        path_lengths = self.routing.path_lengths()
         mean_length = float(path_lengths.mean()) if len(path_lengths) else 1.0
         if mean_length <= 0:
             raise EstimationError("routing matrix has empty paths; cannot infer total traffic")
         return float(snapshot.sum() / mean_length)
 
+    # ------------------------------------------------------------------
+    # edge-total incidence structure
+    # ------------------------------------------------------------------
+    def origin_order(self) -> tuple[str, ...]:
+        """Origins in first-appearance pair order (the canonical row order)."""
+        return tuple(dict.fromkeys(pair.origin for pair in self.pairs))
+
+    def destination_order(self) -> tuple[str, ...]:
+        """Destinations in first-appearance pair order."""
+        return tuple(dict.fromkeys(pair.destination for pair in self.pairs))
+
+    def _incidence_block(self, labels: tuple[str, ...], attribute: str) -> np.ndarray:
+        """0/1 block mapping pairs to their origin (or destination) row."""
+        index = {name: row for row, name in enumerate(labels)}
+        block = np.zeros((len(labels), self.num_pairs))
+        rows = [index[getattr(pair, attribute)] for pair in self.pairs]
+        block[rows, np.arange(self.num_pairs)] = 1.0
+        return block
+
     def augmented_system(
         self,
         include_origin_totals: bool = True,
         include_destination_totals: bool = True,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[Union[np.ndarray, scipy.sparse.spmatrix], np.ndarray]:
         """Routing constraints augmented with edge-total rows.
 
         The paper's network view includes the access/peering links over
@@ -166,28 +218,42 @@ class EstimationProblem:
 
         Returns ``(matrix, rhs)`` where ``matrix`` stacks the routing matrix
         and the requested total rows and ``rhs`` stacks the link-load
-        snapshot and the totals.
+        snapshot and the totals.  The matrix is dense for a dense routing
+        backend and a CSR sparse matrix for a sparse one; results are cached
+        per flag combination, so treat them as read-only.
         """
-        rows = [self.routing.matrix]
+        key = (bool(include_origin_totals), bool(include_destination_totals))
+        cached = self._augmented_cache.get(key)
+        if cached is not None:
+            return cached
+        sparse = self.routing.backend_kind == "sparse"
+        rows: list[Any] = [
+            self.routing.backend.raw if sparse else self.routing.matrix
+        ]
         rhs = [self.snapshot]
         if include_origin_totals and self.origin_totals is not None:
-            origins = list(dict.fromkeys(pair.origin for pair in self.pairs))
-            block = np.zeros((len(origins), self.num_pairs))
-            for col, pair in enumerate(self.pairs):
-                block[origins.index(pair.origin), col] = 1.0
-            rows.append(block)
+            origins = self.origin_order()
+            rows.append(self._incidence_block(origins, "origin"))
             rhs.append(np.array([self.origin_totals.get(origin, 0.0) for origin in origins]))
         if include_destination_totals and self.destination_totals is not None:
-            destinations = list(dict.fromkeys(pair.destination for pair in self.pairs))
-            block = np.zeros((len(destinations), self.num_pairs))
-            for col, pair in enumerate(self.pairs):
-                block[destinations.index(pair.destination), col] = 1.0
-            rows.append(block)
+            destinations = self.destination_order()
+            rows.append(self._incidence_block(destinations, "destination"))
             rhs.append(
                 np.array([self.destination_totals.get(dest, 0.0) for dest in destinations])
             )
-        return np.vstack(rows), np.concatenate(rhs)
+        if sparse:
+            matrix: Union[np.ndarray, scipy.sparse.spmatrix] = scipy.sparse.vstack(
+                [scipy.sparse.csr_matrix(block) for block in rows], format="csr"
+            )
+        else:
+            matrix = np.vstack(rows)
+        result = (matrix, np.concatenate(rhs))
+        self._augmented_cache[key] = result
+        return result
 
+    # ------------------------------------------------------------------
+    # derived problems
+    # ------------------------------------------------------------------
     def with_snapshot(self, link_loads: np.ndarray) -> "EstimationProblem":
         """Return a copy of the problem with a different load snapshot."""
         return EstimationProblem(
@@ -198,6 +264,38 @@ class EstimationProblem:
             destination_totals=self.destination_totals,
             origin_totals_series=self.origin_totals_series,
             origin_names=self.origin_names,
+            destination_totals_series=self.destination_totals_series,
+            destination_names=self.destination_names,
+        )
+
+    def at_snapshot(self, index: int) -> "EstimationProblem":
+        """Single-snapshot sub-problem for series index ``index``.
+
+        The link loads are the series row ``index``; per-snapshot edge
+        totals are taken from the totals series when available (falling back
+        to the problem-level totals otherwise).  This is what the generic
+        :meth:`Estimator.estimate_series` loop feeds to ``estimate``, and
+        what the vectorised overrides must match.
+        """
+        series = self.series
+        num = series.shape[0]
+        if not 0 <= index < num:
+            raise EstimationError(f"snapshot index {index} out of range for {num} snapshots")
+        origin_totals = self.origin_totals
+        if self.origin_totals_series is not None:
+            origin_totals = dict(
+                zip(self.origin_names, self.origin_totals_series[index].tolist())
+            )
+        destination_totals = self.destination_totals
+        if self.destination_totals_series is not None:
+            destination_totals = dict(
+                zip(self.destination_names, self.destination_totals_series[index].tolist())
+            )
+        return EstimationProblem(
+            routing=self.routing,
+            link_loads=series[index],
+            origin_totals=origin_totals,
+            destination_totals=destination_totals,
         )
 
 
@@ -230,15 +328,77 @@ class EstimationResult:
         return float(np.linalg.norm(problem.routing.link_loads(self.vector) - problem.snapshot))
 
 
+@dataclass(frozen=True)
+class SeriesEstimationResult:
+    """Per-snapshot estimates for a whole link-load series.
+
+    Attributes
+    ----------
+    estimates:
+        Array of shape ``(K, num_pairs)``: one demand vector per snapshot.
+    pairs:
+        The pair ordering of the columns.
+    method:
+        Name of the estimation method that produced the batch.
+    diagnostics:
+        Free-form diagnostics of the batched run (e.g. how many snapshots
+        took the fast path of a factor-once solver).
+    """
+
+    estimates: np.ndarray
+    pairs: tuple[NodePair, ...]
+    method: str
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return self.estimates.shape[0]
+
+    @property
+    def num_snapshots(self) -> int:
+        """Number of snapshots estimated."""
+        return self.estimates.shape[0]
+
+    def matrix(self, index: int) -> TrafficMatrix:
+        """The estimate of snapshot ``index`` as a :class:`TrafficMatrix`."""
+        num = self.estimates.shape[0]
+        if not 0 <= index < num:
+            raise EstimationError(f"snapshot index {index} out of range for {num} snapshots")
+        return TrafficMatrix(self.pairs, self.estimates[index])
+
+    def mean_matrix(self) -> TrafficMatrix:
+        """Mean of the per-snapshot estimates (comparable to a window truth)."""
+        return TrafficMatrix(self.pairs, self.estimates.mean(axis=0))
+
+    def result(self, index: int) -> EstimationResult:
+        """Wrap snapshot ``index`` as a plain :class:`EstimationResult`."""
+        return EstimationResult(estimate=self.matrix(index), method=self.method)
+
+
 class Estimator(abc.ABC):
     """Abstract base class of all traffic-matrix estimation methods."""
 
-    #: Short identifier used in result objects and summary tables.
+    #: Short identifier used in result objects, summary tables and the
+    #: estimator registry (:mod:`repro.estimation.registry`).
     name: str = "estimator"
 
     @abc.abstractmethod
     def estimate(self, problem: EstimationProblem) -> EstimationResult:
         """Estimate the traffic matrix for ``problem``."""
+
+    def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
+        """Estimate every snapshot of the problem's link-load series.
+
+        The generic implementation estimates each snapshot independently via
+        :meth:`EstimationProblem.at_snapshot`; subclasses override it where
+        one factorisation or one vectorised expression serves all ``K``
+        right-hand sides.  Overrides must agree with this loop on the same
+        problem (they are the fast path, not a different method).
+        """
+        series = problem.series
+        estimates = np.empty((series.shape[0], problem.num_pairs))
+        for index in range(series.shape[0]):
+            estimates[index] = self.estimate(problem.at_snapshot(index)).vector
+        return self._series_result(problem, estimates, batched=False)
 
     def __call__(self, problem: EstimationProblem) -> EstimationResult:
         return self.estimate(problem)
@@ -257,3 +417,23 @@ class Estimator(abc.ABC):
             )
         matrix = TrafficMatrix(problem.pairs, np.maximum(values, 0.0))
         return EstimationResult(estimate=matrix, method=self.name, diagnostics=dict(diagnostics))
+
+    def _series_result(
+        self,
+        problem: EstimationProblem,
+        estimates: np.ndarray,
+        **diagnostics: Any,
+    ) -> SeriesEstimationResult:
+        """Package a ``(K, num_pairs)`` batch into a :class:`SeriesEstimationResult`."""
+        estimates = np.asarray(estimates, dtype=float)
+        if estimates.ndim != 2 or estimates.shape[1] != problem.num_pairs:
+            raise EstimationError(
+                f"{self.name} produced a {estimates.shape} batch for "
+                f"{problem.num_pairs} pairs"
+            )
+        return SeriesEstimationResult(
+            estimates=np.maximum(estimates, 0.0),
+            pairs=problem.pairs,
+            method=self.name,
+            diagnostics=dict(diagnostics),
+        )

@@ -39,14 +39,21 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import EstimationError
-from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.base import (
+    EstimationProblem,
+    EstimationResult,
+    Estimator,
+    SeriesEstimationResult,
+)
 from repro.estimation.priors import make_prior
+from repro.estimation.registry import register
 from repro.estimation.vardi import link_load_moments
 from repro.optimize.nnls import nnls
 
 __all__ = ["CaoEstimator"]
 
 
+@register()
 class CaoEstimator(Estimator):
     """Pseudo-EM estimation under ``s_p ~ N(lambda_p, phi lambda_p^c)``.
 
@@ -154,4 +161,16 @@ class CaoEstimator(Estimator):
             iterations=iterations_used,
             num_snapshots=num_snapshots,
             first_moment_residual=float(np.linalg.norm(routing @ lam - mean_loads)),
+        )
+
+    def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
+        """One window-level pseudo-EM fit, reported for every snapshot.
+
+        Like Vardi, the method estimates the stationary intensities of the
+        window, so the batch repeats the window estimate per snapshot.
+        """
+        result = self.estimate(problem)
+        estimates = np.tile(result.vector, (problem.num_snapshots, 1))
+        return self._series_result(
+            problem, estimates, batched=True, window_estimate=True, **result.diagnostics
         )

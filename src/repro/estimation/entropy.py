@@ -30,6 +30,7 @@ import scipy.optimize
 from repro.errors import EstimationError
 from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
 from repro.estimation.priors import make_prior
+from repro.estimation.registry import register
 from repro.optimize.ipf import kl_divergence
 
 __all__ = ["EntropyEstimator"]
@@ -37,6 +38,7 @@ __all__ = ["EntropyEstimator"]
 _POSITIVE_FLOOR = 1e-9
 
 
+@register()
 class EntropyEstimator(Estimator):
     """Estimation by least-squares fit plus KL-distance regularisation.
 

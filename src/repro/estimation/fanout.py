@@ -28,12 +28,19 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import EstimationError
-from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.base import (
+    EstimationProblem,
+    EstimationResult,
+    Estimator,
+    SeriesEstimationResult,
+)
+from repro.estimation.registry import register
 from repro.optimize.qp import constrained_nnls
 
 __all__ = ["FanoutEstimator"]
 
 
+@register()
 class FanoutEstimator(Estimator):
     """Constant-fanout estimation over a window of link-load measurements.
 
@@ -137,4 +144,29 @@ class FanoutEstimator(Estimator):
             window_length=num_snapshots,
             equality_violation=solution.equality_violation,
             residual_norm=solution.residual_norm,
+        )
+
+    def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
+        """Fit the fanouts once, then scale by every snapshot's ingress totals.
+
+        This is the fanout model's native batch form: ``s_nm[k] = alpha_nm *
+        t_e(n)[k]``, so one constrained fit serves the whole series and the
+        per-snapshot estimates are a single broadcast multiply.
+        """
+        result = self.estimate(problem)
+        fanouts = np.asarray(result.diagnostics["fanouts"], dtype=float)
+        pairs = problem.pairs
+        origins = list(dict.fromkeys(pair.origin for pair in pairs))
+        origin_index = {origin: idx for idx, origin in enumerate(origins)}
+        pair_origin_col = np.array([origin_index[pair.origin] for pair in pairs])
+        num_snapshots = problem.series.shape[0]
+        ingress = self._origin_totals_series(problem, num_snapshots, origins)
+        estimates = fanouts[None, :] * ingress[:, pair_origin_col]
+        return self._series_result(
+            problem,
+            estimates,
+            batched=True,
+            window_length=result.diagnostics["window_length"],
+            equality_violation=result.diagnostics["equality_violation"],
+            residual_norm=result.diagnostics["residual_norm"],
         )

@@ -27,11 +27,22 @@ from typing import Mapping, Optional
 import numpy as np
 
 from repro.errors import EstimationError
-from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.base import (
+    EstimationProblem,
+    EstimationResult,
+    Estimator,
+    SeriesEstimationResult,
+)
+from repro.estimation.registry import register
 from repro.topology.elements import NodeRole
 from repro.topology.network import Network
 
-__all__ = ["SimpleGravityEstimator", "GeneralizedGravityEstimator", "gravity_vector"]
+__all__ = [
+    "SimpleGravityEstimator",
+    "GeneralizedGravityEstimator",
+    "gravity_vector",
+    "gravity_vector_series",
+]
 
 
 def _edge_totals(problem: EstimationProblem) -> tuple[dict[str, float], dict[str, float]]:
@@ -88,6 +99,74 @@ def gravity_vector(
     return values * (measured_total / total)
 
 
+def gravity_vector_series(
+    problem: EstimationProblem,
+    excluded_pairs: Optional[set] = None,
+) -> np.ndarray:
+    """Vectorised gravity estimates for every snapshot of a series.
+
+    Returns a ``(K, num_pairs)`` array whose row ``k`` equals
+    ``gravity_vector(problem.at_snapshot(k))``: per-snapshot edge totals are
+    taken from the totals series when present and fall back to the
+    problem-level totals otherwise.  All snapshots are evaluated in a
+    handful of array operations — no per-snapshot Python loop — which is
+    what makes the batched gravity/Kruithof/Bayesian paths cheap.
+    """
+    num_snapshots = problem.series.shape[0]
+    pairs = problem.pairs
+    excluded_pairs = excluded_pairs or set()
+
+    def totals_matrix(kind: str) -> tuple[np.ndarray, np.ndarray]:
+        """Per-snapshot totals aligned to pairs: ``(K, P)`` plus row sums ``(K,)``."""
+        if kind == "origin":
+            series, names, fallback = (
+                problem.origin_totals_series,
+                problem.origin_names,
+                problem.origin_totals,
+            )
+            labels = [pair.origin for pair in pairs]
+        else:
+            series, names, fallback = (
+                problem.destination_totals_series,
+                problem.destination_names,
+                problem.destination_totals,
+            )
+            labels = [pair.destination for pair in pairs]
+        if series is not None:
+            index = {name: col for col, name in enumerate(names)}
+            missing = sorted({label for label in labels if label not in index})
+            if missing:
+                raise EstimationError(f"{kind} totals missing for {missing}")
+            columns = np.array([index[label] for label in labels])
+            return series[:, columns], series.sum(axis=1)
+        if fallback is None:
+            raise EstimationError(
+                "gravity estimation requires origin_totals and destination_totals "
+                "(the edge-link measurements t_e(n) and t_x(m))"
+            )
+        missing = sorted({label for label in labels if label not in fallback})
+        if missing:
+            raise EstimationError(f"{kind} totals missing for {missing}")
+        row = np.array([fallback[label] for label in labels])
+        total = float(sum(fallback.values()))
+        return np.tile(row, (num_snapshots, 1)), np.full(num_snapshots, total)
+
+    origin_values, origin_row_sums = totals_matrix("origin")
+    destination_values, _ = totals_matrix("destination")
+    values = origin_values * destination_values
+    if excluded_pairs:
+        mask = np.array([pair in excluded_pairs for pair in pairs])
+        values[:, mask] = 0.0
+    totals = values.sum(axis=1)
+    measured = origin_row_sums
+    bad = (totals <= 0) & (measured > 0)
+    if np.any(bad):
+        raise EstimationError("gravity model produced a zero matrix for non-zero traffic")
+    scale = np.where(totals > 0, measured / np.where(totals > 0, totals, 1.0), 0.0)
+    return values * scale[:, None]
+
+
+@register()
 class SimpleGravityEstimator(Estimator):
     """The simple gravity model ``s_nm = C t_e(n) t_x(m)``."""
 
@@ -98,7 +177,13 @@ class SimpleGravityEstimator(Estimator):
         values = gravity_vector(problem)
         return self._result(problem, values, normalisation_total=float(values.sum()))
 
+    def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
+        """Vectorised batch: every snapshot's totals evaluated in one expression."""
+        estimates = gravity_vector_series(problem)
+        return self._series_result(problem, estimates, batched=True)
 
+
+@register()
 class GeneralizedGravityEstimator(Estimator):
     """Gravity model with peer-to-peer demands forced to zero.
 
@@ -129,13 +214,16 @@ class GeneralizedGravityEstimator(Estimator):
                 node.name for node in network.nodes if node.role is NodeRole.PEERING
             }
 
-    def estimate(self, problem: EstimationProblem) -> EstimationResult:
-        """Estimate demands, zeroing every peer-to-peer pair."""
-        excluded = {
+    def _excluded(self, problem: EstimationProblem) -> set:
+        return {
             pair
             for pair in problem.pairs
             if pair.origin in self.peering_nodes and pair.destination in self.peering_nodes
         }
+
+    def estimate(self, problem: EstimationProblem) -> EstimationResult:
+        """Estimate demands, zeroing every peer-to-peer pair."""
+        excluded = self._excluded(problem)
         values = gravity_vector(problem, excluded_pairs=excluded)
         return self._result(
             problem,
@@ -143,3 +231,9 @@ class GeneralizedGravityEstimator(Estimator):
             excluded_pairs=len(excluded),
             normalisation_total=float(values.sum()),
         )
+
+    def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
+        """Vectorised batch with the peer-to-peer exclusions applied."""
+        excluded = self._excluded(problem)
+        estimates = gravity_vector_series(problem, excluded_pairs=excluded)
+        return self._series_result(problem, estimates, batched=True, excluded_pairs=len(excluded))

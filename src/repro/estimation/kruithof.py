@@ -25,9 +25,20 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import EstimationError
-from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.base import (
+    EstimationProblem,
+    EstimationResult,
+    Estimator,
+    SeriesEstimationResult,
+)
+from repro.estimation.gravity import gravity_vector_series
 from repro.estimation.priors import make_prior
-from repro.optimize.ipf import generalized_iterative_scaling, kruithof_scaling
+from repro.estimation.registry import register
+from repro.optimize.ipf import (
+    generalized_iterative_scaling,
+    kruithof_scaling,
+    kruithof_scaling_batch,
+)
 
 __all__ = ["KruithofEstimator", "KLProjectionEstimator"]
 
@@ -45,6 +56,7 @@ def _resolve_prior(problem: EstimationProblem, prior: str | np.ndarray) -> np.nd
     return vector
 
 
+@register()
 class KruithofEstimator(Estimator):
     """Classical Kruithof biproportional fitting to edge totals.
 
@@ -111,7 +123,96 @@ class KruithofEstimator(Estimator):
             prior_kind=self.prior if isinstance(self.prior, str) else "explicit",
         )
 
+    # ------------------------------------------------------------------
+    # batched path
+    # ------------------------------------------------------------------
+    def _prior_series(self, problem: EstimationProblem) -> Optional[np.ndarray]:
+        """Per-snapshot prior vectors ``(K, P)``; ``None`` for the WCB prior."""
+        num_snapshots = problem.series.shape[0]
+        if not isinstance(self.prior, str):
+            return np.tile(_resolve_prior(problem, self.prior), (num_snapshots, 1))
+        kind = self.prior.lower()
+        if kind == "uniform":
+            if problem.origin_totals_series is not None:
+                totals = problem.origin_totals_series.sum(axis=1)
+            elif problem.origin_totals is not None:
+                totals = np.full(num_snapshots, float(sum(problem.origin_totals.values())))
+            else:
+                return None
+            return np.repeat(totals[:, None] / problem.num_pairs, problem.num_pairs, axis=1)
+        if kind == "gravity":
+            return gravity_vector_series(problem)
+        return None
 
+    def _totals_series(self, problem: EstimationProblem, kind: str) -> np.ndarray:
+        """Per-snapshot edge totals ``(K, N)`` in first-appearance label order."""
+        num_snapshots = problem.series.shape[0]
+        if kind == "origin":
+            labels, series, names, fallback = (
+                problem.origin_order(),
+                problem.origin_totals_series,
+                problem.origin_names,
+                problem.origin_totals,
+            )
+        else:
+            labels, series, names, fallback = (
+                problem.destination_order(),
+                problem.destination_totals_series,
+                problem.destination_names,
+                problem.destination_totals,
+            )
+        if series is not None:
+            index = {name: col for col, name in enumerate(names)}
+            columns = [index.get(label) for label in labels]
+            totals = np.zeros((num_snapshots, len(labels)))
+            for position, column in enumerate(columns):
+                if column is not None:
+                    totals[:, position] = series[:, column]
+            return totals
+        row = np.array([fallback.get(label, 0.0) for label in labels])
+        return np.tile(row, (num_snapshots, 1))
+
+    def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
+        """Batched biproportional fit: every snapshot iterated as one stack."""
+        if problem.origin_totals is None and problem.origin_totals_series is None:
+            raise EstimationError("Kruithof's method needs origin_totals and destination_totals")
+        if problem.destination_totals is None and problem.destination_totals_series is None:
+            raise EstimationError("Kruithof's method needs origin_totals and destination_totals")
+        priors = self._prior_series(problem)
+        if priors is None:
+            return super().estimate_series(problem)
+        num_snapshots = problem.series.shape[0]
+        origins = problem.origin_order()
+        destinations = problem.destination_order()
+        origin_index = {name: i for i, name in enumerate(origins)}
+        destination_index = {name: j for j, name in enumerate(destinations)}
+        row_positions = np.array([origin_index[pair.origin] for pair in problem.pairs])
+        column_positions = np.array(
+            [destination_index[pair.destination] for pair in problem.pairs]
+        )
+
+        prior_stack = np.zeros((num_snapshots, len(origins), len(destinations)))
+        prior_stack[:, row_positions, column_positions] = priors
+        fit = kruithof_scaling_batch(
+            prior_stack,
+            self._totals_series(problem, "origin"),
+            self._totals_series(problem, "destination"),
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+        )
+        estimates = fit.values[:, row_positions, column_positions]
+        return self._series_result(
+            problem,
+            estimates,
+            batched=True,
+            iterations=fit.iterations,
+            converged=fit.converged,
+            max_violation=fit.max_violation,
+            prior_kind=self.prior if isinstance(self.prior, str) else "explicit",
+        )
+
+
+@register()
 class KLProjectionEstimator(Estimator):
     """Krupp's generalisation: KL projection of a prior onto ``R s = t``.
 

@@ -102,6 +102,8 @@ def reduce_problem(
         destination_totals=destination_totals,
         origin_totals_series=problem.origin_totals_series,
         origin_names=problem.origin_names,
+        destination_totals_series=problem.destination_totals_series,
+        destination_names=problem.destination_names,
     )
 
 

@@ -16,13 +16,20 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import EstimationError
-from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.base import (
+    EstimationProblem,
+    EstimationResult,
+    Estimator,
+    SeriesEstimationResult,
+)
 from repro.estimation.bayesian import BayesianEstimator
 from repro.estimation.entropy import EntropyEstimator
+from repro.estimation.registry import register
 
 __all__ = ["TomogravityEstimator", "sweep_regularization"]
 
 
+@register()
 class TomogravityEstimator(Estimator):
     """Gravity prior + regularised tomographic refinement in one call.
 
@@ -60,6 +67,23 @@ class TomogravityEstimator(Estimator):
         diagnostics = dict(result.diagnostics)
         diagnostics["flavour"] = self.flavour
         return EstimationResult(estimate=result.estimate, method=self.name, diagnostics=diagnostics)
+
+    def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
+        """Delegate to the inner estimator's batched path.
+
+        With the ``"bayesian"`` flavour this inherits the factor-once
+        Cholesky solve; the entropy flavour currently falls back to the
+        generic per-snapshot loop of its inner estimator.
+        """
+        result = self._inner.estimate_series(problem)
+        diagnostics = dict(result.diagnostics)
+        diagnostics["flavour"] = self.flavour
+        return SeriesEstimationResult(
+            estimates=result.estimates,
+            pairs=result.pairs,
+            method=self.name,
+            diagnostics=diagnostics,
+        )
 
 
 def sweep_regularization(

@@ -33,7 +33,13 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import EstimationError
-from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.base import (
+    EstimationProblem,
+    EstimationResult,
+    Estimator,
+    SeriesEstimationResult,
+)
+from repro.estimation.registry import register
 from repro.optimize.qp import nonnegative_quadratic_program
 
 __all__ = ["VardiEstimator", "link_load_moments"]
@@ -57,6 +63,7 @@ def link_load_moments(link_load_series: np.ndarray) -> tuple[np.ndarray, np.ndar
     return mean, covariance
 
 
+@register()
 class VardiEstimator(Estimator):
     """Poisson moment matching on a time series of link loads.
 
@@ -87,15 +94,18 @@ class VardiEstimator(Estimator):
         """Match the sample moments of the link-load series."""
         series = problem.series
         mean, covariance = link_load_moments(series)
-        routing = problem.routing.matrix
+        routing = problem.routing
 
-        gram = routing.T @ routing
+        gram = routing.gram()
         hessian = gram.copy()
-        linear = routing.T @ mean
+        linear = routing.rmatvec(mean)
         if self.poisson_weight > 0:
             # <r_p r_p', r_q r_q'>_F = ((R'R)_pq)^2  and  <r_p r_p', Sigma>_F = (R' Sigma R)_pp
+            sigma_r = routing.rmatmat(covariance).T  # columns Sigma r_p, shape (L, P)
             hessian = hessian + self.poisson_weight * gram**2
-            linear = linear + self.poisson_weight * np.diag(routing.T @ covariance @ routing)
+            linear = linear + self.poisson_weight * np.einsum(
+                "lp,lp->p", routing.matrix, sigma_r
+            )
 
         solution = nonnegative_quadratic_program(
             hessian,
@@ -104,14 +114,29 @@ class VardiEstimator(Estimator):
             tolerance=self.tolerance,
         )
         values = solution.x
-        covariance_model = routing @ np.diag(values) @ routing.T
+        # R diag(values) R' compared against the sample covariance.
+        scaled_columns = values[None, :] * routing.matrix
+        covariance_model = routing.matmat(scaled_columns.T)
         return self._result(
             problem,
             values,
             poisson_weight=self.poisson_weight,
             num_snapshots=series.shape[0],
-            first_moment_residual=float(np.linalg.norm(routing @ values - mean)),
+            first_moment_residual=float(np.linalg.norm(routing.matvec(values) - mean)),
             second_moment_residual=float(np.linalg.norm(covariance_model - covariance)),
             solver_iterations=solution.iterations,
             solver_converged=solution.converged,
+        )
+
+    def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
+        """One window-level moment fit, reported for every snapshot.
+
+        Vardi estimates the (stationary) Poisson intensities of the whole
+        measurement window, so the batched result is the window estimate
+        repeated per snapshot rather than ``K`` independent fits.
+        """
+        result = self.estimate(problem)
+        estimates = np.tile(result.vector, (problem.num_snapshots, 1))
+        return self._series_result(
+            problem, estimates, batched=True, window_estimate=True, **result.diagnostics
         )

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import EstimationError, SolverError
 from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.registry import register
 from repro.optimize.linear_program import solve_linear_program
 from repro.topology.elements import NodePair
 
@@ -86,7 +87,11 @@ def worst_case_bounds(
     if use_edge_totals:
         constraint_matrix, constraint_rhs = problem.augmented_system()
     else:
-        constraint_matrix, constraint_rhs = routing.matrix, problem.snapshot
+        if routing.backend_kind == "sparse":
+            constraint_matrix = routing.backend.raw
+        else:
+            constraint_matrix = routing.matrix
+        constraint_rhs = problem.snapshot
     target_pairs = list(pairs) if pairs is not None else list(problem.pairs)
     bounds: list[DemandBounds] = []
     for pair in target_pairs:
@@ -110,6 +115,7 @@ def worst_case_bounds(
     return bounds
 
 
+@register()
 class WorstCaseBoundsEstimator(Estimator):
     """Point estimation by the midpoints of the worst-case bounds.
 

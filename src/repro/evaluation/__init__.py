@@ -10,7 +10,10 @@
 
 from repro.evaluation.experiments import (
     ExperimentRecord,
+    MethodSpec,
+    default_method_specs,
     method_comparison,
+    run_method_specs,
     summary_table,
     vardi_table,
 )
@@ -29,6 +32,9 @@ __all__ = [
     "demand_ranking_correlation",
     "top_demand_threshold",
     "ExperimentRecord",
+    "MethodSpec",
+    "default_method_specs",
+    "run_method_specs",
     "vardi_table",
     "method_comparison",
     "summary_table",

@@ -6,27 +6,36 @@
   achieved by every method on a scenario;
 * :class:`ExperimentRecord` — a small result container used by the
   benchmark harness and by EXPERIMENTS.md generation.
+
+The runners are data-driven: a :class:`MethodSpec` names an estimator from
+the registry (:mod:`repro.estimation.registry`), its constructor
+parameters, and the data it consumes (snapshot or series window), so a new
+estimation method — or a new experiment layout — composes by building a
+spec list instead of editing the runner.  :func:`default_method_specs`
+reproduces the paper's Table 2 configuration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.datasets.scenarios import Scenario
-from repro.estimation.base import Estimator
-from repro.estimation.bayesian import BayesianEstimator
-from repro.estimation.entropy import EntropyEstimator
-from repro.estimation.fanout import FanoutEstimator
-from repro.estimation.gravity import SimpleGravityEstimator
-from repro.estimation.priors import worst_case_bound_prior
-from repro.estimation.vardi import VardiEstimator
-from repro.estimation.worstcase import WorstCaseBoundsEstimator
+from repro.errors import EstimationError
+from repro.estimation.registry import get_estimator
 from repro.evaluation.metrics import mean_relative_error
 
-__all__ = ["ExperimentRecord", "vardi_table", "method_comparison", "summary_table"]
+__all__ = [
+    "ExperimentRecord",
+    "MethodSpec",
+    "default_method_specs",
+    "run_method_specs",
+    "vardi_table",
+    "method_comparison",
+    "summary_table",
+]
 
 
 @dataclass(frozen=True)
@@ -36,7 +45,7 @@ class ExperimentRecord:
     Attributes
     ----------
     scenario:
-        Scenario name (``"europe"`` / ``"america"``).
+        Scenario name (``"europe"`` / ``"america"`` / ``"abilene"`` / ...).
     method:
         Method label as it appears in the paper's Table 2.
     mre:
@@ -51,6 +60,167 @@ class ExperimentRecord:
     parameters: dict[str, float] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class MethodSpec:
+    """Declarative description of one experiment row.
+
+    Attributes
+    ----------
+    label:
+        Row label of the record (e.g. ``"Entropy w. gravity prior"``).
+    estimator:
+        Registry name of the estimation method.
+    params:
+        Constructor parameters forwarded to
+        :func:`repro.estimation.registry.get_estimator`.
+    data:
+        ``"snapshot"`` — estimate the busy-period mean from one consistent
+        snapshot; ``"series"`` — estimate from a link-load series window.
+    window:
+        Series window length (``data="series"`` only; clamped to the busy
+        period).
+    prior_from:
+        Label of an earlier spec whose estimate vector is passed as this
+        estimator's ``prior`` parameter (e.g. the Bayesian method re-using
+        the already-computed WCB prior instead of solving the LPs twice).
+    """
+
+    label: str
+    estimator: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    data: str = "snapshot"
+    window: Optional[int] = None
+    prior_from: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.data not in ("snapshot", "series"):
+            raise EstimationError(f"unknown method-spec data kind {self.data!r}")
+        if self.data == "series" and self.window is not None and self.window < 1:
+            raise EstimationError("series window must be at least 1")
+
+
+def default_method_specs(
+    regularization: float = 1000.0,
+    small_regularization: float = 0.01,
+    fanout_window: int = 10,
+    vardi_window: int = 50,
+    include_vardi: bool = True,
+) -> tuple[MethodSpec, ...]:
+    """The paper's Table 2 configuration as a spec tuple.
+
+    The parameter defaults follow the paper: the regularised methods use a
+    large regularisation value (1000), the WCB prior is evaluated both alone
+    and inside the Bayesian method, the fanout method uses a window of 10
+    snapshots, and Vardi uses the 50-sample busy period with
+    ``sigma^{-2} = 0.01`` (its better setting in Table 1).
+    """
+    specs = [
+        MethodSpec(label="Worst-case bound prior", estimator="worst-case-bounds"),
+        MethodSpec(label="Simple gravity prior", estimator="gravity"),
+        MethodSpec(
+            label="Entropy w. gravity prior",
+            estimator="entropy",
+            params={"regularization": regularization, "prior": "gravity"},
+        ),
+        MethodSpec(
+            label="Bayes w. gravity prior",
+            estimator="bayesian",
+            params={"regularization": regularization, "prior": "gravity"},
+        ),
+        MethodSpec(
+            label="Bayes w. WCB prior",
+            estimator="bayesian",
+            params={"regularization": regularization},
+            prior_from="Worst-case bound prior",
+        ),
+        MethodSpec(
+            label="Fanout",
+            estimator="fanout",
+            params={"window_length": fanout_window},
+            data="series",
+            window=fanout_window,
+        ),
+    ]
+    if include_vardi:
+        specs.append(
+            MethodSpec(
+                label="Vardi",
+                estimator="vardi",
+                params={"poisson_weight": small_regularization},
+                data="series",
+                window=vardi_window,
+            )
+        )
+    return tuple(specs)
+
+
+def _recorded_parameters(spec: MethodSpec, window: Optional[int]) -> dict[str, float]:
+    """Numeric parameters worth keeping in the experiment record."""
+    parameters = {
+        key: float(value)
+        for key, value in spec.params.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    if window is not None:
+        parameters["window"] = float(window)
+    return parameters
+
+
+def run_method_specs(
+    scenario: Scenario,
+    specs: Sequence[MethodSpec],
+) -> list[ExperimentRecord]:
+    """Run every method spec on ``scenario`` and record its MRE.
+
+    Snapshot specs share one consistent snapshot problem (truth: the
+    busy-period mean); series specs share one series problem per distinct
+    window (truth: that window's mean).  ``prior_from`` references resolve
+    against earlier specs in the list.
+    """
+    snapshot_truth = scenario.busy_mean_matrix()
+    snapshot_problem = None
+    series_cache: dict[int, tuple[Any, Any]] = {}
+    estimates_by_label: dict[str, np.ndarray] = {}
+    records: list[ExperimentRecord] = []
+
+    for spec in specs:
+        params = dict(spec.params)
+        if spec.prior_from is not None:
+            try:
+                params["prior"] = estimates_by_label[spec.prior_from]
+            except KeyError:
+                raise EstimationError(
+                    f"spec {spec.label!r} references {spec.prior_from!r}, "
+                    "which has not run yet"
+                ) from None
+        estimator = get_estimator(spec.estimator, **params)
+
+        if spec.data == "snapshot":
+            if snapshot_problem is None:
+                snapshot_problem = scenario.snapshot_problem(snapshot_truth)
+            problem, truth, window = snapshot_problem, snapshot_truth, None
+        else:
+            window = min(spec.window or scenario.busy_length, scenario.busy_length)
+            if window not in series_cache:
+                series_cache[window] = (
+                    scenario.series_problem(window_length=window),
+                    scenario.busy_series().window(0, window).mean_matrix(),
+                )
+            problem, truth = series_cache[window]
+
+        result = estimator.estimate(problem)
+        estimates_by_label[spec.label] = result.vector
+        records.append(
+            ExperimentRecord(
+                scenario=scenario.name,
+                method=spec.label,
+                mre=mean_relative_error(result.estimate, truth),
+                parameters=_recorded_parameters(spec, window),
+            )
+        )
+    return records
+
+
 def vardi_table(
     scenario: Scenario,
     poisson_weights: Sequence[float] = (0.01, 1.0),
@@ -58,20 +228,17 @@ def vardi_table(
 ) -> list[ExperimentRecord]:
     """Table 1: Vardi MRE for the given ``sigma^{-2}`` values on a K-sample window."""
     window_length = min(window_length, scenario.busy_length)
-    problem = scenario.series_problem(window_length=window_length)
-    truth = scenario.busy_series().window(0, window_length).mean_matrix()
-    records = []
-    for weight in poisson_weights:
-        estimate = VardiEstimator(poisson_weight=float(weight)).estimate(problem).estimate
-        records.append(
-            ExperimentRecord(
-                scenario=scenario.name,
-                method="Vardi",
-                mre=mean_relative_error(estimate, truth),
-                parameters={"poisson_weight": float(weight), "window": float(window_length)},
-            )
+    specs = [
+        MethodSpec(
+            label="Vardi",
+            estimator="vardi",
+            params={"poisson_weight": float(weight)},
+            data="series",
+            window=window_length,
         )
-    return records
+        for weight in poisson_weights
+    ]
+    return run_method_specs(scenario, specs)
 
 
 def method_comparison(
@@ -81,79 +248,23 @@ def method_comparison(
     fanout_window: int = 10,
     vardi_window: int = 50,
     include_vardi: bool = True,
+    specs: Optional[Sequence[MethodSpec]] = None,
 ) -> list[ExperimentRecord]:
     """Table 2: best-effort MRE of every method on one scenario.
 
-    The parameter defaults follow the paper: the regularised methods use a
-    large regularisation value (1000), the WCB prior is evaluated both alone
-    and inside the Bayesian method, the fanout method uses a window of 10
-    snapshots, and Vardi uses the 50-sample busy period with
-    ``sigma^{-2} = 0.01`` (its better setting in Table 1).
+    With the default ``specs`` this reproduces the paper's Table 2 (see
+    :func:`default_method_specs`); custom spec lists run any registered
+    method mix without touching this runner.
     """
-    truth = scenario.busy_mean_matrix()
-    snapshot_problem = scenario.snapshot_problem(truth)
-    records: list[ExperimentRecord] = []
-
-    def record(method: str, estimate, **parameters: float) -> None:
-        records.append(
-            ExperimentRecord(
-                scenario=scenario.name,
-                method=method,
-                mre=mean_relative_error(estimate, truth),
-                parameters=parameters,
-            )
+    if specs is None:
+        specs = default_method_specs(
+            regularization=regularization,
+            small_regularization=small_regularization,
+            fanout_window=min(fanout_window, scenario.busy_length),
+            vardi_window=min(vardi_window, scenario.busy_length),
+            include_vardi=include_vardi,
         )
-
-    wcb_estimator = WorstCaseBoundsEstimator()
-    wcb_result = wcb_estimator.estimate(snapshot_problem)
-    record("Worst-case bound prior", wcb_result.estimate)
-    wcb_prior = wcb_result.vector
-
-    gravity = SimpleGravityEstimator().estimate(snapshot_problem)
-    record("Simple gravity prior", gravity.estimate)
-
-    entropy = EntropyEstimator(regularization=regularization, prior="gravity").estimate(
-        snapshot_problem
-    )
-    record("Entropy w. gravity prior", entropy.estimate, regularization=regularization)
-
-    bayes_gravity = BayesianEstimator(regularization=regularization, prior="gravity").estimate(
-        snapshot_problem
-    )
-    record("Bayes w. gravity prior", bayes_gravity.estimate, regularization=regularization)
-
-    bayes_wcb = BayesianEstimator(regularization=regularization, prior=wcb_prior).estimate(
-        snapshot_problem
-    )
-    record("Bayes w. WCB prior", bayes_wcb.estimate, regularization=regularization)
-
-    fanout_window = min(fanout_window, scenario.busy_length)
-    fanout_problem = scenario.series_problem(window_length=fanout_window)
-    fanout_truth = scenario.busy_series().window(0, fanout_window).mean_matrix()
-    fanout = FanoutEstimator(window_length=fanout_window).estimate(fanout_problem)
-    records.append(
-        ExperimentRecord(
-            scenario=scenario.name,
-            method="Fanout",
-            mre=mean_relative_error(fanout.estimate, fanout_truth),
-            parameters={"window": float(fanout_window)},
-        )
-    )
-
-    if include_vardi:
-        vardi_window = min(vardi_window, scenario.busy_length)
-        vardi_problem = scenario.series_problem(window_length=vardi_window)
-        vardi_truth = scenario.busy_series().window(0, vardi_window).mean_matrix()
-        vardi = VardiEstimator(poisson_weight=small_regularization).estimate(vardi_problem)
-        records.append(
-            ExperimentRecord(
-                scenario=scenario.name,
-                method="Vardi",
-                mre=mean_relative_error(vardi.estimate, vardi_truth),
-                parameters={"poisson_weight": small_regularization, "window": float(vardi_window)},
-            )
-        )
-    return records
+    return run_method_specs(scenario, specs)
 
 
 def summary_table(records: Sequence[ExperimentRecord]) -> dict[str, dict[str, float]]:

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 import scipy.optimize
+import scipy.sparse
 
 from repro.errors import SolverError
 
@@ -61,7 +62,9 @@ def solve_linear_program(
     cost:
         Objective coefficients.
     equality_matrix, equality_rhs:
-        Equality constraints (may be omitted together).
+        Equality constraints (may be omitted together).  The matrix may be
+        dense or a SciPy sparse matrix; sparse constraints are passed to the
+        HiGHS solver without densification.
     upper_bounds:
         Optional per-variable upper bounds (``None`` entries mean unbounded).
     maximise:
@@ -78,7 +81,8 @@ def solve_linear_program(
     if (equality_matrix is None) != (equality_rhs is None):
         raise SolverError("equality_matrix and equality_rhs must be given together")
     if equality_matrix is not None:
-        equality_matrix = np.asarray(equality_matrix, dtype=float)
+        if not scipy.sparse.issparse(equality_matrix):
+            equality_matrix = np.asarray(equality_matrix, dtype=float)
         equality_rhs = np.asarray(equality_rhs, dtype=float)
         if equality_matrix.shape != (len(equality_rhs), len(cost)):
             raise SolverError(

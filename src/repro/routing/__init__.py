@@ -13,9 +13,17 @@ provides:
   mesh;
 * :class:`~repro.routing.routing_matrix.RoutingMatrix` and the builders
   :func:`~repro.routing.routing_matrix.build_routing_matrix` /
-  :func:`~repro.routing.routing_matrix.build_ecmp_routing_matrix`.
+  :func:`~repro.routing.routing_matrix.build_ecmp_routing_matrix`;
+* the pluggable storage backends of :mod:`repro.routing.backends`
+  (dense ndarray / SciPy CSR, auto-selected by size and density).
 """
 
+from repro.routing.backends import (
+    DenseBackend,
+    RoutingBackend,
+    SparseBackend,
+    make_backend,
+)
 from repro.routing.cspf import CSPFRouter
 from repro.routing.lsp import LSP, LSPMesh, ReservationState
 from repro.routing.routing_matrix import (
@@ -35,4 +43,8 @@ __all__ = [
     "RoutingMatrix",
     "build_routing_matrix",
     "build_ecmp_routing_matrix",
+    "RoutingBackend",
+    "DenseBackend",
+    "SparseBackend",
+    "make_backend",
 ]

@@ -6,18 +6,26 @@ column per origin-destination pair; entry ``r_lp`` is 1 when the demand of
 pair ``p`` traverses link ``l`` (or the traversed fraction for multi-path
 routing).
 
-:class:`RoutingMatrix` bundles the NumPy array with the link and pair
-orderings it was built from, so downstream code never has to guess which row
-or column corresponds to which network element.
+:class:`RoutingMatrix` bundles the storage backend (dense ndarray or SciPy
+CSR, auto-selected by size and density — see :mod:`repro.routing.backends`)
+with the link and pair orderings it was built from, so downstream code never
+has to guess which row or column corresponds to which network element.
+Consumers should prefer the operator-style products (:meth:`link_loads` /
+:meth:`matvec`, :meth:`rmatvec`, :meth:`matmat`, :meth:`gram`) over the
+dense :attr:`matrix` view; expensive derived quantities (numerical rank,
+path lengths, the Gram matrix, the dense view itself) are computed once and
+cached.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
+import scipy.sparse
 
 from repro.errors import RoutingError
+from repro.routing.backends import RoutingBackend, make_backend
 from repro.routing.cspf import CSPFRouter
 from repro.routing.shortest_path import Path, ShortestPathRouter
 from repro.topology.elements import NodePair
@@ -32,54 +40,98 @@ class RoutingMatrix:
     Parameters
     ----------
     matrix:
-        Array of shape ``(num_links, num_pairs)`` with entries in [0, 1].
+        Array-like or SciPy sparse matrix of shape ``(num_links,
+        num_pairs)`` with entries in [0, 1]; an existing
+        :class:`~repro.routing.backends.RoutingBackend` is also accepted.
     link_names:
         Row labels (canonical link order of the network).
     pairs:
         Column labels (canonical origin-destination pair order).
     network:
         The network the matrix was built from (kept for convenience).
+    backend:
+        Storage backend: ``"auto"`` (default — sparse CSR for large sparse
+        matrices, dense otherwise), ``"dense"`` or ``"sparse"``.
     """
 
     def __init__(
         self,
-        matrix: np.ndarray,
+        matrix: Union[np.ndarray, scipy.sparse.spmatrix, RoutingBackend],
         link_names: Sequence[str],
         pairs: Sequence[NodePair],
         network: Optional[Network] = None,
+        backend: str = "auto",
     ) -> None:
-        matrix = np.asarray(matrix, dtype=float)
-        if matrix.ndim != 2:
-            raise RoutingError("routing matrix must be two-dimensional")
-        if matrix.shape != (len(link_names), len(pairs)):
+        self._backend = make_backend(matrix, backend=backend)
+        if self._backend.shape != (len(link_names), len(pairs)):
             raise RoutingError(
-                f"routing matrix shape {matrix.shape} does not match "
+                f"routing matrix shape {self._backend.shape} does not match "
                 f"{len(link_names)} links x {len(pairs)} pairs"
             )
-        if np.any(matrix < -1e-12) or np.any(matrix > 1 + 1e-12):
-            raise RoutingError("routing matrix entries must lie in [0, 1]")
-        self.matrix = matrix
+        self._backend.validate_entries()
         self.link_names = tuple(link_names)
         self.pairs = tuple(pairs)
         self.network = network
         self._pair_index = {pair: idx for idx, pair in enumerate(self.pairs)}
         self._link_index = {name: idx for idx, name in enumerate(self.link_names)}
+        self._rank: Optional[int] = None
+        self._path_lengths: Optional[np.ndarray] = None
 
+    # ------------------------------------------------------------------
+    # backend / storage
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> RoutingBackend:
+        """The storage backend in use."""
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        """``"dense"`` or ``"sparse"``."""
+        return self._backend.kind
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Dense ndarray view of the routing matrix (cached; do not mutate).
+
+        Prefer the operator-style products below; this view exists for the
+        few algorithms (active-set NNLS, LP constraint assembly, column
+        slicing) that genuinely need a dense array.
+        """
+        return self._backend.toarray()
+
+    def with_backend(self, backend: str) -> "RoutingMatrix":
+        """Return a copy of this routing matrix using the given backend."""
+        return RoutingMatrix(
+            self._backend.toarray(),
+            self.link_names,
+            self.pairs,
+            network=self.network,
+            backend=backend,
+        )
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero entries."""
+        return self._backend.density
+
+    # ------------------------------------------------------------------
+    # shape and labelling
     # ------------------------------------------------------------------
     @property
     def num_links(self) -> int:
         """Number of rows (directed links)."""
-        return self.matrix.shape[0]
+        return self._backend.shape[0]
 
     @property
     def num_pairs(self) -> int:
         """Number of columns (origin-destination pairs)."""
-        return self.matrix.shape[1]
+        return self._backend.shape[1]
 
     @property
     def shape(self) -> tuple[int, int]:
         """``(num_links, num_pairs)``."""
-        return self.matrix.shape
+        return self._backend.shape
 
     def pair_index(self, pair: NodePair) -> int:
         """Column index of ``pair``."""
@@ -91,14 +143,17 @@ class RoutingMatrix:
     def link_row(self, link_name: str) -> np.ndarray:
         """Row of the matrix for ``link_name``."""
         try:
-            return self.matrix[self._link_index[link_name]]
+            return self._backend.row(self._link_index[link_name])
         except KeyError as exc:
             raise RoutingError(f"link {link_name!r} not present in routing matrix") from exc
 
     def pair_column(self, pair: NodePair) -> np.ndarray:
         """Column of the matrix for ``pair`` (the links it traverses)."""
-        return self.matrix[:, self.pair_index(pair)]
+        return self._backend.column(self.pair_index(pair))
 
+    # ------------------------------------------------------------------
+    # operator-style products
+    # ------------------------------------------------------------------
     def link_loads(self, demands: np.ndarray) -> np.ndarray:
         """Compute ``t = R s`` for a demand vector ``s``.
 
@@ -111,16 +166,56 @@ class RoutingMatrix:
             raise RoutingError(
                 f"demand vector has shape {demands.shape}, expected ({self.num_pairs},)"
             )
-        return self.matrix @ demands
+        return self._backend.matvec(demands)
 
+    def matvec(self, demands: np.ndarray) -> np.ndarray:
+        """``R @ demands`` (alias of :meth:`link_loads`)."""
+        return self.link_loads(demands)
+
+    def rmatvec(self, loads: np.ndarray) -> np.ndarray:
+        """``R.T @ loads`` for a link-load vector."""
+        loads = np.asarray(loads, dtype=float)
+        if loads.shape != (self.num_links,):
+            raise RoutingError(
+                f"load vector has shape {loads.shape}, expected ({self.num_links},)"
+            )
+        return self._backend.rmatvec(loads)
+
+    def matmat(self, demands: np.ndarray) -> np.ndarray:
+        """``R @ demands`` for a dense ``(num_pairs, k)`` matrix of demand columns."""
+        demands = np.asarray(demands, dtype=float)
+        if demands.ndim != 2 or demands.shape[0] != self.num_pairs:
+            raise RoutingError(
+                f"demand matrix has shape {demands.shape}, expected ({self.num_pairs}, k)"
+            )
+        return self._backend.matmat(demands)
+
+    def rmatmat(self, loads: np.ndarray) -> np.ndarray:
+        """``R.T @ loads`` for a dense ``(num_links, k)`` matrix of load columns."""
+        loads = np.asarray(loads, dtype=float)
+        if loads.ndim != 2 or loads.shape[0] != self.num_links:
+            raise RoutingError(
+                f"load matrix has shape {loads.shape}, expected ({self.num_links}, k)"
+            )
+        return self._backend.rmatmat(loads)
+
+    def gram(self) -> np.ndarray:
+        """The Gram matrix ``R.T @ R`` (dense, cached by the backend)."""
+        return self._backend.gram()
+
+    # ------------------------------------------------------------------
+    # cached derived quantities
+    # ------------------------------------------------------------------
     def rank(self) -> int:
-        """Numerical rank of the routing matrix.
+        """Numerical rank of the routing matrix (computed once, then cached).
 
         The estimation problem is under-determined whenever the rank is
         smaller than the number of pairs, which is the normal situation in
         backbones (many more pairs than links).
         """
-        return int(np.linalg.matrix_rank(self.matrix))
+        if self._rank is None:
+            self._rank = int(np.linalg.matrix_rank(self._backend.toarray()))
+        return self._rank
 
     def nullity(self) -> int:
         """Dimension of the null space, i.e. the degrees of freedom left free."""
@@ -130,12 +225,23 @@ class RoutingMatrix:
         """Whether ``R s = t`` has infinitely many non-negative candidates."""
         return self.rank() < self.num_pairs
 
+    def path_lengths(self) -> np.ndarray:
+        """Per-pair path lengths (column sums; cached, read-only)."""
+        if self._path_lengths is None:
+            lengths = self._backend.column_sums()
+            lengths.setflags(write=False)
+            self._path_lengths = lengths
+        return self._path_lengths
+
     def path_length(self, pair: NodePair) -> float:
         """Number of links (possibly fractional for ECMP) used by ``pair``."""
-        return float(self.pair_column(pair).sum())
+        return float(self.path_lengths()[self.pair_index(pair)])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RoutingMatrix(links={self.num_links}, pairs={self.num_pairs}, rank={self.rank()})"
+        return (
+            f"RoutingMatrix(links={self.num_links}, pairs={self.num_pairs}, "
+            f"rank={self.rank()}, backend={self.backend_kind!r})"
+        )
 
 
 def build_routing_matrix(
@@ -143,6 +249,7 @@ def build_routing_matrix(
     paths: Optional[Mapping[NodePair, Path]] = None,
     use_cspf: bool = False,
     bandwidths: Optional[Mapping[NodePair, float]] = None,
+    backend: str = "auto",
 ) -> RoutingMatrix:
     """Build the 0/1 single-path routing matrix for ``network``.
 
@@ -160,6 +267,9 @@ def build_routing_matrix(
         Dijkstra.
     bandwidths:
         LSP bandwidth values used by CSPF (ignored otherwise).
+    backend:
+        Storage backend passed to :class:`RoutingMatrix` (``"auto"``,
+        ``"dense"`` or ``"sparse"``).
     """
     pairs = network.node_pairs()
     if paths is None:
@@ -172,14 +282,20 @@ def build_routing_matrix(
     if missing:
         raise RoutingError(f"missing paths for pairs: {[str(p) for p in missing[:5]]}")
 
-    matrix = np.zeros((network.num_links, len(pairs)))
+    # Assemble in coordinate form: one entry per (link, pair) traversal.
+    rows: list[int] = []
+    cols: list[int] = []
     for col, pair in enumerate(pairs):
         for link in paths[pair].links:
-            matrix[network.link_index(link.name), col] = 1.0
-    return RoutingMatrix(matrix, network.link_names, pairs, network=network)
+            rows.append(network.link_index(link.name))
+            cols.append(col)
+    coo = scipy.sparse.coo_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(network.num_links, len(pairs))
+    )
+    return RoutingMatrix(coo, network.link_names, pairs, network=network, backend=backend)
 
 
-def build_ecmp_routing_matrix(network: Network) -> RoutingMatrix:
+def build_ecmp_routing_matrix(network: Network, backend: str = "auto") -> RoutingMatrix:
     """Build a fractional routing matrix with even ECMP splitting.
 
     Every equal-cost shortest path of a pair carries ``1/k`` of the demand,
@@ -189,11 +305,19 @@ def build_ecmp_routing_matrix(network: Network) -> RoutingMatrix:
     """
     pairs = network.node_pairs()
     router = ShortestPathRouter(network)
-    matrix = np.zeros((network.num_links, len(pairs)))
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
     for col, pair in enumerate(pairs):
         ecmp_paths = router.all_shortest_paths(pair)
         share = 1.0 / len(ecmp_paths)
         for path in ecmp_paths:
             for link in path.links:
-                matrix[network.link_index(link.name), col] += share
-    return RoutingMatrix(matrix, network.link_names, pairs, network=network)
+                rows.append(network.link_index(link.name))
+                cols.append(col)
+                data.append(share)
+    coo = scipy.sparse.coo_matrix(
+        (data, (rows, cols)), shape=(network.num_links, len(pairs))
+    )
+    # Duplicate (row, col) entries from shared links are summed by COO->CSR.
+    return RoutingMatrix(coo, network.link_names, pairs, network=network, backend=backend)

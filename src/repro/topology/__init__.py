@@ -15,9 +15,11 @@ This package provides the data model every other subsystem builds on:
 
 from repro.topology.elements import Link, LinkKind, Node, NodePair, NodeRole
 from repro.topology.generators import (
+    ABILENE_CITIES,
     AMERICAN_CITIES,
     EUROPEAN_CITIES,
     CitySpec,
+    abilene_backbone,
     american_backbone,
     european_backbone,
     great_circle_km,
@@ -40,8 +42,10 @@ __all__ = [
     "CitySpec",
     "EUROPEAN_CITIES",
     "AMERICAN_CITIES",
+    "ABILENE_CITIES",
     "european_backbone",
     "american_backbone",
+    "abilene_backbone",
     "random_backbone",
     "great_circle_km",
     "extract_region",

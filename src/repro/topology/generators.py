@@ -34,8 +34,10 @@ __all__ = [
     "CitySpec",
     "EUROPEAN_CITIES",
     "AMERICAN_CITIES",
+    "ABILENE_CITIES",
     "european_backbone",
     "american_backbone",
+    "abilene_backbone",
     "random_backbone",
     "great_circle_km",
 ]
@@ -111,6 +113,39 @@ AMERICAN_CITIES: tuple[CitySpec, ...] = (
     CitySpec("TPA", 27.95, -82.46, 1.0),
     CitySpec("CLT", 35.23, -80.84, 1.0),
     CitySpec("NSH", 36.16, -86.78, 0.8),
+)
+
+#: The eleven PoPs of the Abilene research backbone (Internet2, 2004).
+ABILENE_CITIES: tuple[CitySpec, ...] = (
+    CitySpec("STTL", 47.61, -122.33, 2.0),
+    CitySpec("SNVA", 37.37, -122.04, 4.0),
+    CitySpec("LOSA", 34.05, -118.24, 3.5),
+    CitySpec("DNVR", 39.74, -104.99, 1.5),
+    CitySpec("KSCY", 39.10, -94.58, 1.0),
+    CitySpec("HSTN", 29.76, -95.37, 1.5),
+    CitySpec("CHIN", 41.88, -87.63, 3.0),
+    CitySpec("IPLS", 39.77, -86.16, 1.0),
+    CitySpec("ATLA", 33.75, -84.39, 2.0),
+    CitySpec("WASH", 38.91, -77.04, 3.0),
+    CitySpec("NYCM", 40.71, -74.01, 4.5),
+)
+
+#: Abilene's fourteen bidirectional OC-192 trunks.
+_ABILENE_TRUNKS: tuple[tuple[str, str], ...] = (
+    ("STTL", "SNVA"),
+    ("STTL", "DNVR"),
+    ("SNVA", "LOSA"),
+    ("SNVA", "DNVR"),
+    ("LOSA", "HSTN"),
+    ("DNVR", "KSCY"),
+    ("KSCY", "HSTN"),
+    ("KSCY", "IPLS"),
+    ("HSTN", "ATLA"),
+    ("IPLS", "CHIN"),
+    ("IPLS", "ATLA"),
+    ("CHIN", "NYCM"),
+    ("ATLA", "WASH"),
+    ("NYCM", "WASH"),
 )
 
 _EARTH_RADIUS_KM = 6371.0
@@ -267,6 +302,44 @@ def american_backbone(seed: int = 2004) -> Network:
     (25 PoPs, 600 demands, 284 links).
     """
     return _geographic_backbone("america", AMERICAN_CITIES, 284, "america", seed)
+
+
+def abilene_backbone() -> Network:
+    """Return the 11-PoP, 28-directed-link Abilene research backbone.
+
+    Unlike the proprietary Global Crossing subnetworks, Abilene's topology
+    is public, so this generator reproduces the real 2004 node and trunk
+    layout exactly: eleven PoPs connected by fourteen bidirectional OC-192
+    (10 Gbit/s) trunks, with IGP metrics seeded from great-circle distance
+    like the other geographic generators.  It adds a third, structurally
+    different evaluation scenario (sparser than the synthetic backbones:
+    average degree ~2.5) exercising the scenario-diversity code paths.
+    """
+    network = Network("abilene")
+    by_name = {city.name: city for city in ABILENE_CITIES}
+    for city in ABILENE_CITIES:
+        network.add_node(
+            Node(
+                name=city.name,
+                role=NodeRole.ACCESS,
+                region="us-research",
+                population=city.population,
+                city=city.name,
+            )
+        )
+    for a_name, b_name in _ABILENE_TRUNKS:
+        distance = great_circle_km(by_name[a_name], by_name[b_name])
+        network.add_bidirectional_link(
+            Link(
+                source=a_name,
+                target=b_name,
+                capacity_mbps=10_000.0,
+                metric=_metric_from_distance(distance),
+                kind=LinkKind.INTERIOR,
+            )
+        )
+    network.validate()
+    return network
 
 
 def random_backbone(

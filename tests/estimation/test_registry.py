@@ -1,0 +1,99 @@
+"""Tests for the estimator registry (registration, lookup, errors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation import (
+    BayesianEstimator,
+    Estimator,
+    SimpleGravityEstimator,
+    VardiEstimator,
+    available_estimators,
+    get_estimator,
+)
+from repro.estimation.registry import register
+
+
+class TestAvailability:
+    def test_every_paper_method_is_registered(self):
+        names = available_estimators()
+        assert {
+            "gravity",
+            "generalized-gravity",
+            "kruithof",
+            "kl-projection",
+            "entropy",
+            "bayesian",
+            "vardi",
+            "cao",
+            "fanout",
+            "worst-case-bounds",
+            "tomogravity",
+        } <= set(names)
+
+    def test_names_are_sorted_and_unique(self):
+        names = available_estimators()
+        assert list(names) == sorted(names)
+        assert len(set(names)) == len(names)
+
+
+class TestLookup:
+    def test_lookup_returns_fresh_instances(self):
+        first = get_estimator("gravity")
+        second = get_estimator("gravity")
+        assert isinstance(first, SimpleGravityEstimator)
+        assert first is not second
+
+    def test_parameters_are_forwarded(self):
+        estimator = get_estimator("bayesian", regularization=42.0, prior="uniform")
+        assert isinstance(estimator, BayesianEstimator)
+        assert estimator.regularization == 42.0
+        assert estimator.prior == "uniform"
+
+    def test_invalid_parameters_surface_the_estimator_error(self):
+        with pytest.raises(EstimationError):
+            get_estimator("vardi", poisson_weight=7.0)
+
+    def test_unknown_name_raises_with_available_list(self):
+        with pytest.raises(EstimationError, match="unknown estimator"):
+            get_estimator("no-such-method")
+
+    def test_registry_instance_estimates_like_direct_construction(
+        self, small_snapshot_problem
+    ):
+        from_registry = get_estimator("gravity").estimate(small_snapshot_problem)
+        direct = SimpleGravityEstimator().estimate(small_snapshot_problem)
+        assert np.allclose(from_registry.vector, direct.vector)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(EstimationError, match="already registered"):
+
+            @register("gravity")
+            class Impostor(Estimator):  # pragma: no cover - never instantiated
+                name = "gravity"
+
+                def estimate(self, problem):
+                    raise NotImplementedError
+
+    def test_reregistering_same_class_is_idempotent(self):
+        register("vardi")(VardiEstimator)
+        assert "vardi" in available_estimators()
+
+    def test_non_estimator_rejected(self):
+        with pytest.raises(EstimationError, match="Estimator subclasses"):
+            register("not-an-estimator")(dict)
+
+    def test_nameless_class_rejected(self):
+        class Nameless(Estimator):  # pragma: no cover - never instantiated
+            name = ""
+
+            def estimate(self, problem):
+                raise NotImplementedError
+
+        with pytest.raises(EstimationError, match="no usable registry name"):
+            register()(Nameless)

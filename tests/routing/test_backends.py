@@ -1,0 +1,154 @@
+"""Tests for the routing-matrix storage backends (dense / sparse parity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import (
+    DenseBackend,
+    SparseBackend,
+    build_routing_matrix,
+    make_backend,
+)
+from repro.routing.backends import SPARSE_DENSITY_THRESHOLD, SPARSE_SIZE_THRESHOLD
+
+
+@pytest.fixture(scope="module")
+def europe():
+    from repro.datasets import europe_scenario
+
+    return europe_scenario()
+
+
+@pytest.fixture(scope="module")
+def europe_routing_pair(europe):
+    """The europe routing matrix in both backends."""
+    dense = europe.routing.with_backend("dense")
+    sparse = europe.routing.with_backend("sparse")
+    return dense, sparse
+
+
+class TestSelection:
+    def test_small_matrices_stay_dense(self, triangle_network):
+        routing = build_routing_matrix(triangle_network)
+        assert routing.backend_kind == "dense"
+
+    def test_explicit_backend_is_honoured(self, triangle_network):
+        sparse = build_routing_matrix(triangle_network, backend="sparse")
+        dense = build_routing_matrix(triangle_network, backend="dense")
+        assert sparse.backend_kind == "sparse"
+        assert dense.backend_kind == "dense"
+
+    def test_auto_picks_sparse_for_large_sparse_matrices(self):
+        rows = 250
+        cols = SPARSE_SIZE_THRESHOLD // rows + 1
+        matrix = np.zeros((rows, cols))
+        matrix[0, :] = 1.0  # density well below the threshold
+        assert make_backend(matrix).kind == "sparse"
+
+    def test_auto_keeps_dense_for_dense_matrices(self):
+        rows = 250
+        cols = SPARSE_SIZE_THRESHOLD // rows + 1
+        density = min(1.0, 2 * SPARSE_DENSITY_THRESHOLD)
+        rng = np.random.default_rng(7)
+        matrix = (rng.random((rows, cols)) < density).astype(float)
+        assert make_backend(matrix).kind == "dense"
+
+    def test_unknown_backend_rejected(self, triangle_network):
+        with pytest.raises(RoutingError):
+            build_routing_matrix(triangle_network, backend="cuda")
+
+    def test_entry_validation_applies_to_both_backends(self):
+        bad = np.full((2, 2), 2.0)
+        for backend in (DenseBackend(bad), SparseBackend(bad)):
+            with pytest.raises(RoutingError):
+                backend.validate_entries()
+
+
+class TestOperatorParity:
+    def test_link_loads_match(self, europe_routing_pair):
+        dense, sparse = europe_routing_pair
+        demands = np.linspace(0.0, 5.0, dense.num_pairs)
+        np.testing.assert_allclose(
+            dense.link_loads(demands), sparse.link_loads(demands), atol=1e-8
+        )
+
+    def test_transpose_products_match(self, europe_routing_pair):
+        dense, sparse = europe_routing_pair
+        loads = np.linspace(1.0, 2.0, dense.num_links)
+        np.testing.assert_allclose(dense.rmatvec(loads), sparse.rmatvec(loads), atol=1e-8)
+        block = np.outer(loads, np.arange(3.0))
+        np.testing.assert_allclose(dense.rmatmat(block), sparse.rmatmat(block), atol=1e-8)
+
+    def test_gram_and_dense_view_match(self, europe_routing_pair):
+        dense, sparse = europe_routing_pair
+        np.testing.assert_allclose(dense.gram(), sparse.gram(), atol=1e-8)
+        np.testing.assert_allclose(dense.matrix, sparse.matrix, atol=0.0)
+
+    def test_rank_and_path_lengths_match(self, europe_routing_pair):
+        dense, sparse = europe_routing_pair
+        assert dense.rank() == sparse.rank()
+        np.testing.assert_allclose(dense.path_lengths(), sparse.path_lengths(), atol=1e-12)
+
+    def test_rows_and_columns_match(self, europe_routing_pair):
+        dense, sparse = europe_routing_pair
+        name = dense.link_names[0]
+        pair = dense.pairs[-1]
+        np.testing.assert_allclose(dense.link_row(name), sparse.link_row(name))
+        np.testing.assert_allclose(dense.pair_column(pair), sparse.pair_column(pair))
+
+
+class TestEstimateParity:
+    """Acceptance criterion: dense and sparse estimates agree on europe."""
+
+    def _problem(self, scenario, routing):
+        """Problem with backend-independent observables.
+
+        The link loads are computed once from the dense backend so both
+        problems see bit-identical inputs; any estimate difference is then
+        attributable to the backend itself (matvec rounding differences in
+        the inputs would otherwise be amplified by iterative solvers).
+        """
+        from repro.estimation import EstimationProblem
+
+        truth = scenario.busy_mean_matrix()
+        loads = scenario.routing.with_backend("dense").link_loads(truth.vector)
+        return EstimationProblem(
+            routing=routing,
+            link_loads=loads,
+            origin_totals=truth.origin_totals(),
+            destination_totals=truth.destination_totals(),
+        )
+
+    @pytest.mark.parametrize("method,params", [
+        ("gravity", {}),
+        ("kruithof", {}),
+        ("bayesian", {"regularization": 1000.0, "prior": "gravity"}),
+        ("entropy", {"regularization": 1000.0, "prior": "gravity"}),
+    ])
+    def test_estimates_identical_across_backends(
+        self, europe, europe_routing_pair, method, params
+    ):
+        from repro.estimation import get_estimator
+
+        dense, sparse = europe_routing_pair
+        dense_result = get_estimator(method, **params).estimate(self._problem(europe, dense))
+        sparse_result = get_estimator(method, **params).estimate(self._problem(europe, sparse))
+        np.testing.assert_allclose(
+            dense_result.vector, sparse_result.vector, atol=1e-8
+        )
+
+    def test_worst_case_bounds_identical_across_backends(self, europe, europe_routing_pair):
+        from repro.estimation import get_estimator
+
+        dense, sparse = europe_routing_pair
+        subset = dense.pairs[:4]
+        dense_result = get_estimator("worst-case-bounds", pairs=subset).estimate(
+            self._problem(europe, dense)
+        )
+        sparse_result = get_estimator("worst-case-bounds", pairs=subset).estimate(
+            self._problem(europe, sparse)
+        )
+        np.testing.assert_allclose(dense_result.vector, sparse_result.vector, atol=1e-6)

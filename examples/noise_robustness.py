@@ -1,0 +1,64 @@
+"""Noise-robustness study: estimation accuracy on measured (inconsistent) data.
+
+The paper evaluates the estimation methods on *consistent* link loads
+(``t = R s``, Section 5.1.4) and notes sensitivity to measurement errors as
+future work.  This example closes that loop with the repo's measurement
+pipeline: each scenario's day series is run through the distributed SNMP
+collector (Section 5.1.2's infrastructure — polling jitter, UDP loss,
+interval-adjusted rates), and every method is re-scored on the *measured*
+LSP matrix and link loads against the true series.
+
+The output table shows the MRE of each method as a function of the polling
+jitter and loss level — at (0, 0) the measured data coincides with the
+consistent data and the MREs match the paper's Table 2 runs.
+
+Run with::
+
+    python examples/noise_robustness.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import abilene_scenario, europe_scenario
+from repro.evaluation import robustness_sweep, robustness_table
+
+JITTER_VALUES = (0.0, 5.0, 20.0)
+LOSS_VALUES = (0.0, 0.05)
+METHODS = ("gravity", "kruithof", "fanout", "bayesian")
+WINDOW = 20
+
+
+def main() -> None:
+    scenarios = [europe_scenario(), abilene_scenario()]
+    print(
+        f"Sweeping {len(METHODS)} methods over jitter {JITTER_VALUES} s x "
+        f"loss {LOSS_VALUES} on {[s.name for s in scenarios]} "
+        f"(window of {WINDOW} busy-period snapshots)..."
+    )
+    records = robustness_sweep(
+        scenarios,
+        jitter_values=JITTER_VALUES,
+        loss_values=LOSS_VALUES,
+        methods=METHODS,
+        window_length=WINDOW,
+    )
+
+    table = robustness_table(records)
+    for scenario_name, methods in table.items():
+        print(f"\n=== {scenario_name} ===")
+        grid = [(j, l) for j in JITTER_VALUES for l in LOSS_VALUES]
+        header = "".join(f"  j={j:>4g}s/l={l:>4g}" for j, l in grid)
+        print(f"{'method':12s}{header}")
+        for method, cells in methods.items():
+            row = "".join(f"  {cells[(j, l)]:12.4f}" for j, l in grid)
+            print(f"{method:12s}{row}")
+
+    print(
+        "\nThe (jitter=0, loss=0) column reproduces the consistent-data MREs; "
+        "the other columns show how each method degrades as the link loads "
+        "become inconsistent with the routing matrix."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,10 +15,11 @@ from repro.datasets.backbone import (
     europe_scenario,
     small_scenario,
 )
-from repro.datasets.scenarios import Scenario, SweepRecord
+from repro.datasets.scenarios import MeasuredScenario, Scenario, SweepRecord
 
 __all__ = [
     "Scenario",
+    "MeasuredScenario",
     "SweepRecord",
     "europe_scenario",
     "america_scenario",

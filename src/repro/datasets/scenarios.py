@@ -15,6 +15,20 @@ to see — link-load snapshots and series, edge-node totals — packaged as
 truth they are scored against.  :meth:`Scenario.sweep` scores every
 registered estimation method (or a chosen subset) over the series using the
 batched ``estimate_series`` path.
+
+Two data modes feed the estimators:
+
+* the **consistent** mode (plain :class:`Scenario`) computes link loads as
+  ``t = R s`` from the true demands — the paper's Section 5.1.4 evaluation
+  data set, free of measurement error by construction;
+* the **measured** mode (:class:`MeasuredScenario`, built with
+  :meth:`Scenario.measured`) runs the full SNMP collection pipeline of
+  Section 5.1.2 — distributed pollers, response jitter, UDP loss,
+  interval-adjusted rates — over the day series and builds the estimation
+  problems from the *measured* LSP matrix and *measured* link loads, while
+  the sweep still scores against the true series.  With zero jitter and
+  zero loss the measured problems coincide with the consistent ones (up to
+  counter byte quantisation), which the test suite pins.
 """
 
 from __future__ import annotations
@@ -26,12 +40,14 @@ import numpy as np
 
 from repro.errors import EstimationError, SolverError, TrafficError
 from repro.estimation.base import EstimationProblem, SeriesEstimationResult
+from repro.measurement.collector import DistributedCollector
 from repro.measurement.linkloads import link_load_series
+from repro.measurement.snmp import RateDiagnostics
 from repro.routing.routing_matrix import RoutingMatrix
 from repro.topology.network import Network
 from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSeries
 
-__all__ = ["Scenario", "SweepRecord"]
+__all__ = ["Scenario", "MeasuredScenario", "SweepRecord"]
 
 
 @dataclass(frozen=True)
@@ -98,6 +114,10 @@ class Scenario:
     # ------------------------------------------------------------------
     # traffic views
     # ------------------------------------------------------------------
+    def busy_window_start(self) -> int:
+        """Start index of the busy period within the day series."""
+        return self.day_series.busy_window_start(self.busy_length)
+
     def busy_series(self) -> TrafficMatrixSeries:
         """The busy-period window: the ``busy_length`` busiest consecutive snapshots."""
         if self._busy_series is None:
@@ -136,23 +156,17 @@ class Scenario:
             destination_totals=destination_totals,
         )
 
-    def series_problem(
-        self,
-        series: Optional[TrafficMatrixSeries] = None,
-        window_length: Optional[int] = None,
+    def _series_problem_from(
+        self, series: TrafficMatrixSeries, loads: np.ndarray
     ) -> EstimationProblem:
-        """Estimation problem exposing a link-load time series.
+        """Build a series problem from a demand series and its link loads.
 
-        Used by the time-series estimators (fanout, Vardi) and by the
-        batched ``estimate_series`` path.  The series defaults to the busy
-        period; ``window_length`` truncates it.  Per-snapshot origin ingress
-        and destination egress totals are included (both are observable from
-        the edge links), all computed vectorised from the demand array.
+        ``loads`` is the ``(K, L)`` link-load series the estimators observe;
+        the consistent mode computes it as ``t = R s``, the measured mode
+        passes the link counters collected by the SNMP pipeline.  Edge
+        totals are derived from ``series`` (they are observable from the
+        access links in both modes), vectorised from the demand array.
         """
-        series = series if series is not None else self.busy_series()
-        if window_length is not None:
-            series = series.window(0, window_length)
-        loads = link_load_series(self.routing, series)
         demands = series.as_array()  # (K, P)
         origins = tuple(dict.fromkeys(pair.origin for pair in series.pairs))
         destinations = tuple(dict.fromkeys(pair.destination for pair in series.pairs))
@@ -178,6 +192,60 @@ class Scenario:
             origin_names=origins,
             destination_totals_series=destination_series,
             destination_names=destinations,
+        )
+
+    def series_problem(
+        self,
+        series: Optional[TrafficMatrixSeries] = None,
+        window_length: Optional[int] = None,
+    ) -> EstimationProblem:
+        """Estimation problem exposing a link-load time series.
+
+        Used by the time-series estimators (fanout, Vardi) and by the
+        batched ``estimate_series`` path.  The series defaults to the busy
+        period; ``window_length`` truncates it.  Per-snapshot origin ingress
+        and destination egress totals are included (both are observable from
+        the edge links), with link loads computed as the consistent
+        ``t = R s``.
+        """
+        series = series if series is not None else self.busy_series()
+        if window_length is not None:
+            series = series.window(0, window_length)
+        return self._series_problem_from(series, link_load_series(self.routing, series))
+
+    # ------------------------------------------------------------------
+    # measured-data mode
+    # ------------------------------------------------------------------
+    def measured(
+        self,
+        jitter_std_seconds: float = 0.0,
+        loss_probability: float = 0.0,
+        num_pollers: int = 3,
+        seed: Optional[int] = None,
+        max_interpolated_fraction: float = 1.0,
+    ) -> "MeasuredScenario":
+        """A view of this scenario whose observables come from SNMP collection.
+
+        The returned :class:`MeasuredScenario` shares this scenario's
+        network, routing, day series and busy window, but its estimation
+        problems are built from the *measured* LSP matrix and link loads
+        produced by a :class:`~repro.measurement.collector.DistributedCollector`
+        run with the given jitter, loss and poller count — while the ground
+        truth (``busy_series`` and friends) stays the true series, so sweeps
+        and method comparisons score estimators on inconsistent data against
+        the real demands.
+        """
+        return MeasuredScenario(
+            name=self.name,
+            network=self.network,
+            routing=self.routing,
+            day_series=self.day_series,
+            busy_length=self.busy_length,
+            jitter_std_seconds=jitter_std_seconds,
+            loss_probability=loss_probability,
+            num_pollers=num_pollers,
+            measurement_seed=seed,
+            max_interpolated_fraction=max_interpolated_fraction,
         )
 
     # ------------------------------------------------------------------
@@ -281,3 +349,130 @@ class Scenario:
             "busy_total_traffic": busy.total,
             "routing_rank": float(self.routing.rank()),
         }
+
+
+@dataclass
+class MeasuredScenario(Scenario):
+    """A scenario whose observables come from the SNMP measurement pipeline.
+
+    Built with :meth:`Scenario.measured`.  The true ``day_series`` remains
+    the ground truth (``busy_series``, ``busy_mean_matrix`` and the sweep
+    scoring are untouched), but :meth:`snapshot_problem` and
+    :meth:`series_problem` hand the estimators the *measured* data instead
+    of the consistent ``t = R s`` loads: link loads come from the polled
+    link counters, and edge totals from the measured LSP matrix.  Jitter,
+    UDP loss and the interval-length rate adjustment make the measured data
+    inconsistent in exactly the way Section 5.1.2 of the paper describes.
+
+    Attributes
+    ----------
+    jitter_std_seconds, loss_probability, num_pollers, measurement_seed,
+    max_interpolated_fraction:
+        Forwarded to the underlying
+        :class:`~repro.measurement.collector.DistributedCollector`.
+    """
+
+    jitter_std_seconds: float = 0.0
+    loss_probability: float = 0.0
+    num_pollers: int = 3
+    measurement_seed: Optional[int] = None
+    max_interpolated_fraction: float = 1.0
+    _collector: Optional[DistributedCollector] = field(default=None, repr=False)
+    _measured_day: Optional[TrafficMatrixSeries] = field(default=None, repr=False)
+    _measured_loads: Optional[np.ndarray] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # collection (lazy: runs once, on first access to measured data)
+    # ------------------------------------------------------------------
+    @property
+    def collector(self) -> DistributedCollector:
+        """The collector, running the day-long collection on first access."""
+        if self._collector is None:
+            collector = DistributedCollector(
+                self.routing,
+                num_pollers=self.num_pollers,
+                interval_seconds=self.day_series.interval_seconds,
+                jitter_std_seconds=self.jitter_std_seconds,
+                loss_probability=self.loss_probability,
+                seed=self.measurement_seed,
+                max_interpolated_fraction=self.max_interpolated_fraction,
+            )
+            collector.collect(self.day_series)
+            self._collector = collector
+        return self._collector
+
+    def measured_day_series(self) -> TrafficMatrixSeries:
+        """The full measured LSP traffic-matrix series (one day)."""
+        if self._measured_day is None:
+            self._measured_day = self.collector.measured_traffic_series()
+        return self._measured_day
+
+    def measured_link_load_series(self) -> np.ndarray:
+        """The full measured link-load series, shape ``(K_day, L)``."""
+        if self._measured_loads is None:
+            self._measured_loads = self.collector.measured_link_loads()
+        return self._measured_loads
+
+    def measurement_diagnostics(self) -> RateDiagnostics:
+        """Lost/degenerate/interpolated sample accounting of the collection."""
+        return self.collector.collection_diagnostics()
+
+    def measured_busy_series(self) -> TrafficMatrixSeries:
+        """The measured LSP series over the *true* busy window.
+
+        The evaluation protocol fixes the window from the ground truth so
+        that measured and consistent runs score the same interval.
+        """
+        return self.measured_day_series().window(self.busy_window_start(), self.busy_length)
+
+    def _measured_busy_loads(self, length: Optional[int] = None) -> np.ndarray:
+        start = self.busy_window_start()
+        length = self.busy_length if length is None else length
+        return self.measured_link_load_series()[start : start + length]
+
+    # ------------------------------------------------------------------
+    # observable data (measured instead of consistent)
+    # ------------------------------------------------------------------
+    def snapshot_problem(self, matrix: Optional[TrafficMatrix] = None) -> EstimationProblem:
+        """Estimation problem built from measured busy-period data.
+
+        Link loads are the busy-window mean of the *measured* link counters
+        and the edge totals come from the measured LSP matrix.  Passing an
+        explicit ``matrix`` falls back to the consistent computation on that
+        matrix (the measured pipeline has no data for hypothetical
+        snapshots).
+        """
+        if matrix is not None:
+            return super().snapshot_problem(matrix)
+        measured_mean = self.measured_busy_series().mean_matrix()
+        origin_totals, destination_totals = self._edge_totals(measured_mean)
+        return EstimationProblem(
+            routing=self.routing,
+            link_loads=self._measured_busy_loads().mean(axis=0),
+            origin_totals=origin_totals,
+            destination_totals=destination_totals,
+        )
+
+    def series_problem(
+        self,
+        series: Optional[TrafficMatrixSeries] = None,
+        window_length: Optional[int] = None,
+    ) -> EstimationProblem:
+        """Series problem over the busy window, from measured data.
+
+        The link-load series is the measured link counters (not
+        ``t = R s``), and per-snapshot edge totals come from the measured
+        LSP matrix.  Passing an explicit ``series`` falls back to the
+        consistent computation on that series.
+        """
+        if series is not None:
+            return super().series_problem(series=series, window_length=window_length)
+        length = self.busy_length
+        if window_length is not None:
+            if not 0 < window_length <= self.busy_length:
+                raise TrafficError(
+                    f"window [0, {window_length}) outside series of length {self.busy_length}"
+                )
+            length = window_length
+        measured_series = self.measured_busy_series().window(0, length)
+        return self._series_problem_from(measured_series, self._measured_busy_loads(length))

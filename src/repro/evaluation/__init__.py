@@ -4,15 +4,19 @@
   threshold rule, RMSE and ranking correlation;
 * :mod:`~repro.evaluation.figures` — one data-series generator per figure of
   the paper;
-* :mod:`~repro.evaluation.experiments` — Table 1 / Table 2 runners and the
-  :class:`~repro.evaluation.experiments.ExperimentRecord` container.
+* :mod:`~repro.evaluation.experiments` — Table 1 / Table 2 runners, the
+  measurement-noise robustness sweep, and the record containers used by the
+  benchmark harness.
 """
 
 from repro.evaluation.experiments import (
     ExperimentRecord,
     MethodSpec,
+    RobustnessRecord,
     default_method_specs,
     method_comparison,
+    robustness_sweep,
+    robustness_table,
     run_method_specs,
     summary_table,
     vardi_table,
@@ -38,4 +42,7 @@ __all__ = [
     "vardi_table",
     "method_comparison",
     "summary_table",
+    "RobustnessRecord",
+    "robustness_sweep",
+    "robustness_table",
 ]

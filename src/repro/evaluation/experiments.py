@@ -4,6 +4,10 @@
   on the busy-period series (K = 50 samples);
 * :func:`method_comparison` / :func:`summary_table` — Table 2: the best MRE
   achieved by every method on a scenario;
+* :func:`robustness_sweep` / :func:`robustness_table` — noise-robustness
+  study: the MRE of every registered method as a function of SNMP jitter
+  and UDP loss, on measured-data scenarios built with
+  :meth:`~repro.datasets.scenarios.Scenario.measured`;
 * :class:`ExperimentRecord` — a small result container used by the
   benchmark harness and by EXPERIMENTS.md generation.
 
@@ -12,13 +16,15 @@ the registry (:mod:`repro.estimation.registry`), its constructor
 parameters, and the data it consumes (snapshot or series window), so a new
 estimation method — or a new experiment layout — composes by building a
 spec list instead of editing the runner.  :func:`default_method_specs`
-reproduces the paper's Table 2 configuration.
+reproduces the paper's Table 2 configuration.  The runners consume the
+scenario's ``snapshot_problem()`` / ``series_problem()`` accessors, so they
+work unchanged on both consistent and measured scenarios.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -35,6 +41,9 @@ __all__ = [
     "vardi_table",
     "method_comparison",
     "summary_table",
+    "RobustnessRecord",
+    "robustness_sweep",
+    "robustness_table",
 ]
 
 
@@ -197,7 +206,10 @@ def run_method_specs(
 
         if spec.data == "snapshot":
             if snapshot_problem is None:
-                snapshot_problem = scenario.snapshot_problem(snapshot_truth)
+                # The default problem is built from the scenario's busy-period
+                # data (measured scenarios substitute the polled counters);
+                # the truth stays the true busy-period mean either way.
+                snapshot_problem = scenario.snapshot_problem()
             problem, truth, window = snapshot_problem, snapshot_truth, None
         else:
             window = min(spec.window or scenario.busy_length, scenario.busy_length)
@@ -272,4 +284,114 @@ def summary_table(records: Sequence[ExperimentRecord]) -> dict[str, dict[str, fl
     table: dict[str, dict[str, float]] = {}
     for record in records:
         table.setdefault(record.method, {})[record.scenario] = record.mre
+    return table
+
+
+@dataclass(frozen=True)
+class RobustnessRecord:
+    """MRE of one method on one scenario at one measurement-noise level.
+
+    Attributes
+    ----------
+    scenario:
+        Scenario name.
+    method:
+        Registry name of the estimation method.
+    jitter_std_seconds:
+        SNMP response-jitter standard deviation of the collection run.
+    loss_probability:
+        Per-poll UDP loss probability of the collection run.
+    mre:
+        Mean relative error of the method's mean estimate against the true
+        busy-window mean (``NaN`` when the method was skipped).
+    error:
+        Why the method was skipped (empty when it ran).
+    """
+
+    scenario: str
+    method: str
+    jitter_std_seconds: float
+    loss_probability: float
+    mre: float
+    error: str = ""
+
+    @property
+    def skipped(self) -> bool:
+        """Whether the method could not run at this noise level."""
+        return bool(self.error)
+
+
+def robustness_sweep(
+    scenarios: Union[Scenario, Sequence[Scenario]],
+    jitter_values: Sequence[float] = (0.0, 2.0, 10.0),
+    loss_values: Sequence[float] = (0.0, 0.02, 0.1),
+    methods: Optional[Sequence[Union[str, tuple[str, Mapping]]]] = None,
+    window_length: Optional[int] = None,
+    num_pollers: int = 3,
+    seed: Optional[int] = 0,
+    skip_errors: bool = True,
+) -> list[RobustnessRecord]:
+    """Score estimation methods on measured data across noise levels.
+
+    For every scenario and every ``(jitter, loss)`` combination this builds
+    a measured-data view with :meth:`~repro.datasets.scenarios.Scenario.measured`
+    — running the full SNMP collection pipeline over the day series — and
+    sweeps the requested methods (default: every registered estimator) over
+    the measured busy window, scoring each against the *true* series.  The
+    result quantifies how gracefully each method degrades as the link-load
+    data becomes inconsistent, the sensitivity study the paper leaves open.
+
+    Parameters
+    ----------
+    scenarios:
+        One scenario or a sequence of them (e.g. europe / america / abilene).
+    jitter_values, loss_values:
+        The measurement-noise grid (the full cross product is evaluated;
+        jitter in seconds of response-time standard deviation, loss as the
+        per-poll UDP loss probability).
+    methods, window_length, skip_errors:
+        Forwarded to :meth:`~repro.datasets.scenarios.Scenario.sweep`.
+    num_pollers, seed:
+        Forwarded to the collection pipeline; the same seed is reused at
+        every noise level so that grid cells differ only in the noise knobs.
+    """
+    if isinstance(scenarios, Scenario):
+        scenarios = [scenarios]
+    records: list[RobustnessRecord] = []
+    for scenario in scenarios:
+        for jitter in jitter_values:
+            for loss in loss_values:
+                measured = scenario.measured(
+                    jitter_std_seconds=float(jitter),
+                    loss_probability=float(loss),
+                    num_pollers=num_pollers,
+                    seed=seed,
+                )
+                for sweep_record in measured.sweep(
+                    methods=methods,
+                    window_length=window_length,
+                    skip_errors=skip_errors,
+                ):
+                    records.append(
+                        RobustnessRecord(
+                            scenario=scenario.name,
+                            method=sweep_record.method,
+                            jitter_std_seconds=float(jitter),
+                            loss_probability=float(loss),
+                            mre=sweep_record.mre,
+                            error=sweep_record.error,
+                        )
+                    )
+    return records
+
+
+def robustness_table(
+    records: Sequence[RobustnessRecord],
+) -> dict[str, dict[str, dict[tuple[float, float], float]]]:
+    """Arrange robustness records as ``{scenario: {method: {(jitter, loss): mre}}}``."""
+    table: dict[str, dict[str, dict[tuple[float, float], float]]] = {}
+    for record in records:
+        table.setdefault(record.scenario, {}).setdefault(record.method, {})[
+            (record.jitter_std_seconds, record.loss_probability)
+        ] = record.mre
     return table

@@ -25,7 +25,15 @@ from repro.measurement.netflow import (
     flows_from_series,
     netflow_smoothed_series,
 )
-from repro.measurement.snmp import CounterState, PollResult, SNMPPoller, rates_from_polls
+from repro.measurement.snmp import (
+    CounterState,
+    PollMatrix,
+    PollResult,
+    RateDiagnostics,
+    SNMPPoller,
+    rates_from_poll_matrix,
+    rates_from_polls,
+)
 
 __all__ = [
     "LinkLoadObservation",
@@ -35,8 +43,11 @@ __all__ = [
     "GaussianNoiseModel",
     "CounterState",
     "PollResult",
+    "PollMatrix",
+    "RateDiagnostics",
     "SNMPPoller",
     "rates_from_polls",
+    "rates_from_poll_matrix",
     "MeasurementArchive",
     "DistributedCollector",
     "FlowRecord",

@@ -6,12 +6,21 @@ neighbours, with results shipped to a central database over TCP
 (Section 5.1.2).  This module models that architecture end-to-end:
 
 * :class:`MeasurementArchive` — the central database: a time-indexed store
-  of per-object rate samples with simple querying;
+  of per-object rate samples.  Samples arrive in bulk blocks (one array per
+  collector run) or one at a time; queries sort by timestamp, so pollers can
+  ship their results in any order without misaligning the series;
 * :class:`DistributedCollector` — assigns objects to regional
   :class:`~repro.measurement.snmp.SNMPPoller` instances, drives them from a
   traffic-matrix series via a routing matrix (so the polled counters see the
   true LSP/link rates), derives interval rates and stores them in the
-  archive.
+  archive.  The whole pipeline is array-valued: one ``(K, objects)`` rate
+  matrix drives all counters, and rates land in the archive as blocks.
+
+Timestamp convention: the rate of interval ``k`` is derived from the poll at
+the *end* of the interval, so the archive stamps it ``start + (k+1) * dt``.
+:meth:`DistributedCollector.measured_traffic_series` shifts the series start
+back by one interval so measured snapshot ``k`` carries the same timestamp
+as snapshot ``k`` of the driving :class:`~repro.traffic.matrix.TrafficMatrixSeries`.
 
 The collector is what turns a *demand process* into the *measured LSP
 matrix* and *measured link loads* the estimation benchmarks start from.
@@ -20,14 +29,13 @@ matrix* and *measured link loads* the estimation benchmarks start from.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import MeasurementError
-from repro.measurement.snmp import SNMPPoller, rates_from_polls
+from repro.measurement.snmp import RateDiagnostics, SNMPPoller, rates_from_poll_matrix
 from repro.routing.routing_matrix import RoutingMatrix
-from repro.topology.elements import NodePair
 from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSeries
 
 __all__ = ["MeasurementArchive", "DistributedCollector"]
@@ -36,49 +44,114 @@ __all__ = ["MeasurementArchive", "DistributedCollector"]
 class MeasurementArchive:
     """Central store of per-object rate samples.
 
-    Samples are stored per object name as ``(timestamp, rate)`` pairs in
-    insertion order.  The archive deliberately mimics a simple time-series
-    database rather than exposing NumPy arrays directly; use
-    :meth:`rates_matrix` to get the dense view estimation code wants.
+    Samples are stored per object as blocks of ``(timestamps, rates)``
+    arrays — one block per :meth:`record_block` call (bulk, the collector's
+    path) or per :meth:`record` call (single sample).  Queries merge the
+    blocks and sort by timestamp, so the order in which pollers ship their
+    results never affects the assembled series.
     """
 
     def __init__(self) -> None:
-        self._samples: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        self._blocks: dict[str, list[tuple[np.ndarray, np.ndarray]]] = defaultdict(list)
+        # Single samples land in plain lists (O(1) per record) and are
+        # coalesced into one array block when the object is next queried.
+        self._pending: dict[str, list[tuple[float, float]]] = defaultdict(list)
 
     def record(self, object_name: str, timestamp: float, rate_mbps: float) -> None:
         """Store one sample; rates must be non-negative."""
         if rate_mbps < 0:
             raise MeasurementError(f"negative rate recorded for {object_name!r}")
-        self._samples[object_name].append((float(timestamp), float(rate_mbps)))
+        self._blocks[object_name]  # register the object in insertion order
+        self._pending[object_name].append((float(timestamp), float(rate_mbps)))
+
+    def record_block(
+        self,
+        object_names: Sequence[str],
+        timestamps: np.ndarray,
+        rates_mbps: np.ndarray,
+    ) -> None:
+        """Store a ``(K, objects)`` block of samples in one call.
+
+        ``rates_mbps[k, i]`` is the rate of ``object_names[i]`` at
+        ``timestamps[k]``.  This is the collector's bulk path: one call per
+        poller run instead of one :meth:`record` per (object, interval).
+        """
+        timestamps = np.asarray(timestamps, dtype=float)
+        rates = np.asarray(rates_mbps, dtype=float)
+        if timestamps.ndim != 1:
+            raise MeasurementError("timestamps must form a one-dimensional array")
+        if rates.shape != (len(timestamps), len(object_names)):
+            raise MeasurementError(
+                f"rates block has shape {rates.shape}, expected "
+                f"({len(timestamps)}, {len(object_names)})"
+            )
+        if np.any(rates < 0):
+            raise MeasurementError("negative rate recorded in block")
+        if len(set(object_names)) != len(tuple(object_names)):
+            raise MeasurementError("duplicate object names in block")
+        for col, name in enumerate(object_names):
+            self._blocks[name].append((timestamps, rates[:, col]))
+
+    # ------------------------------------------------------------------
+    def _merged(self, object_name: str) -> tuple[np.ndarray, np.ndarray]:
+        """All samples of one object, sorted by timestamp."""
+        pending = self._pending.pop(object_name, None)
+        if pending:
+            samples = np.asarray(pending, dtype=float)
+            self._blocks[object_name].append((samples[:, 0], samples[:, 1]))
+        blocks = self._blocks.get(object_name)
+        if not blocks:
+            raise MeasurementError(f"no samples recorded for {object_name!r}")
+        timestamps = np.concatenate([block[0] for block in blocks])
+        rates = np.concatenate([block[1] for block in blocks])
+        order = np.argsort(timestamps, kind="stable")
+        return timestamps[order], rates[order]
 
     def objects(self) -> tuple[str, ...]:
         """Names of all objects with at least one sample."""
-        return tuple(self._samples)
+        return tuple(self._blocks)
 
     def samples(self, object_name: str) -> tuple[tuple[float, float], ...]:
-        """All ``(timestamp, rate)`` samples of one object."""
-        if object_name not in self._samples:
-            raise MeasurementError(f"no samples recorded for {object_name!r}")
-        return tuple(self._samples[object_name])
+        """All ``(timestamp, rate)`` samples of one object, in time order."""
+        timestamps, rates = self._merged(object_name)
+        return tuple(zip(timestamps.tolist(), rates.tolist()))
 
     def num_samples(self, object_name: str) -> int:
         """Number of samples stored for ``object_name`` (0 if unknown)."""
-        return len(self._samples.get(object_name, ()))
+        return sum(
+            len(block[0]) for block in self._blocks.get(object_name, ())
+        ) + len(self._pending.get(object_name, ()))
+
+    def schedule(self, object_name: str) -> np.ndarray:
+        """Sorted sample timestamps of one object."""
+        return self._merged(object_name)[0]
 
     def rates_matrix(self, object_names: Sequence[str]) -> np.ndarray:
         """Dense ``(K, num_objects)`` rate array in the given object order.
 
-        All requested objects must have the same number of samples (they do
-        when populated by one collector run).
+        Rows are ordered by timestamp; all requested objects must have been
+        sampled on the *same* schedule (identical timestamp sets, no
+        duplicates), which is what one collector run produces.  Mismatched
+        or ambiguous schedules raise instead of silently misaligning rows.
         """
+        reference: Optional[np.ndarray] = None
         columns = []
-        lengths = set()
         for name in object_names:
-            rates = [rate for _, rate in self.samples(name)]
-            lengths.add(len(rates))
+            timestamps, rates = self._merged(name)
+            if len(np.unique(timestamps)) != len(timestamps):
+                raise MeasurementError(
+                    f"object {name!r} has duplicate sample timestamps"
+                )
+            if reference is None:
+                reference = timestamps
+            elif timestamps.shape != reference.shape or not np.array_equal(
+                timestamps, reference
+            ):
+                raise MeasurementError(
+                    f"object {name!r} was sampled on a different schedule "
+                    "than the other requested objects"
+                )
             columns.append(rates)
-        if len(lengths) > 1:
-            raise MeasurementError("objects have differing sample counts")
         return np.array(columns, dtype=float).T
 
 
@@ -96,6 +169,10 @@ class DistributedCollector:
         Forwarded to each :class:`~repro.measurement.snmp.SNMPPoller`.
     seed:
         Base seed; each poller gets a distinct derived seed.
+    max_interpolated_fraction:
+        Forwarded to :func:`~repro.measurement.snmp.rates_from_poll_matrix`:
+        raise when more than this fraction of a poller's samples had to be
+        interpolated (the default ``1.0`` never raises).
     """
 
     def __init__(
@@ -106,12 +183,16 @@ class DistributedCollector:
         jitter_std_seconds: float = 2.0,
         loss_probability: float = 0.0,
         seed: Optional[int] = None,
+        max_interpolated_fraction: float = 1.0,
     ) -> None:
         if num_pollers < 1:
             raise MeasurementError("need at least one poller")
         self.routing = routing
         self.archive = MeasurementArchive()
         self.interval_seconds = float(interval_seconds)
+        self.max_interpolated_fraction = float(max_interpolated_fraction)
+        #: Per-poller sample accounting of the most recent :meth:`collect` run.
+        self.poll_diagnostics: tuple[RateDiagnostics, ...] = ()
 
         lsp_names = [f"lsp:{pair.origin}->{pair.destination}" for pair in routing.pairs]
         link_names = list(routing.link_names)
@@ -121,53 +202,91 @@ class DistributedCollector:
 
         # Round-robin assignment of objects to pollers approximates the
         # paper's geographic split while keeping per-poller load balanced.
-        assignments: list[list[str]] = [[] for _ in range(num_pollers)]
-        for idx, name in enumerate(all_objects):
-            assignments[idx % num_pollers].append(name)
-        base_seed = seed if seed is not None else 0
-        self.pollers = [
-            SNMPPoller(
-                object_names=objects,
-                interval_seconds=interval_seconds,
-                jitter_std_seconds=jitter_std_seconds,
-                loss_probability=loss_probability,
-                seed=base_seed + poller_idx,
-            )
-            for poller_idx, objects in enumerate(assignments)
-            if objects
+        # Each poller remembers which columns of the full (K, objects) rate
+        # matrix it owns, so collection is pure array slicing.
+        assignments = [
+            np.arange(start, len(all_objects), num_pollers)
+            for start in range(num_pollers)
         ]
+        base_seed = seed if seed is not None else 0
+        self.pollers: list[SNMPPoller] = []
+        self._assigned_columns: list[np.ndarray] = []
+        for poller_idx, columns in enumerate(assignments):
+            if not len(columns):
+                continue
+            self.pollers.append(
+                SNMPPoller(
+                    object_names=[all_objects[col] for col in columns],
+                    interval_seconds=interval_seconds,
+                    jitter_std_seconds=jitter_std_seconds,
+                    loss_probability=loss_probability,
+                    seed=base_seed + poller_idx,
+                )
+            )
+            self._assigned_columns.append(columns)
 
     # ------------------------------------------------------------------
-    def _object_rates(self, snapshot: TrafficMatrix) -> dict[str, float]:
-        """True per-object rates for one snapshot (LSPs carry demands, links carry sums)."""
-        rates: dict[str, float] = {}
-        for pair, value in zip(self.routing.pairs, snapshot.vector):
-            rates[f"lsp:{pair.origin}->{pair.destination}"] = float(value)
-        link_loads = self.routing.link_loads(snapshot.vector)
-        for name, load in zip(self.routing.link_names, link_loads):
-            rates[name] = float(load)
-        return rates
+    def _object_rate_matrix(self, series: TrafficMatrixSeries) -> np.ndarray:
+        """True per-object rates for the whole series: ``(K, lsps + links)``.
 
-    def collect(self, series: TrafficMatrixSeries, start_time: float = 0.0) -> MeasurementArchive:
+        LSPs carry the demands themselves; links carry ``R s`` — both
+        evaluated for all snapshots with one matrix product.
+        """
+        demands = series.as_array()  # (K, P)
+        loads = self.routing.matmat(demands.T).T  # (K, L)
+        return np.hstack([demands, loads])
+
+    def collect(
+        self, series: TrafficMatrixSeries, start_time: Optional[float] = None
+    ) -> MeasurementArchive:
         """Run the full collection pipeline over a traffic series.
 
         Every poller drives its counters with the true rates of each
         interval, polls on the shared schedule, and the derived
-        interval-adjusted rates are stored in the central archive.
+        interval-adjusted rates are stored in the central archive, stamped
+        with the poll time at the *end* of each interval (the rate of
+        interval ``k`` only exists once poll ``k + 1`` has answered).
+
+        ``start_time`` defaults to the series' own start time, so measured
+        timestamps line up with the driving series without any bookkeeping
+        by the caller.
 
         Returns the archive (also available as :attr:`archive`).
         """
         if series.pairs != self.routing.pairs:
             raise MeasurementError("series pair ordering does not match the routing matrix")
-        rate_series = [self._object_rates(snapshot) for snapshot in series]
-        timestamps = start_time + self.interval_seconds * np.arange(len(rate_series))
-        for poller in self.pollers:
-            rounds = poller.run_schedule(rate_series, start_time=start_time)
-            rates = rates_from_polls(rounds, poller.object_names)
-            for col, name in enumerate(poller.object_names):
-                for k in range(rates.shape[0]):
-                    self.archive.record(name, float(timestamps[k]), float(rates[k, col]))
+        if not np.isclose(series.interval_seconds, self.interval_seconds):
+            raise MeasurementError(
+                f"series interval ({series.interval_seconds} s) does not match "
+                f"the polling interval ({self.interval_seconds} s)"
+            )
+        if start_time is None:
+            start_time = series.start_time_seconds
+        start_time = float(start_time)
+        rate_matrix = self._object_rate_matrix(series)
+        # Interval k's rate is derived at the poll closing the interval.
+        timestamps = start_time + self.interval_seconds * np.arange(1, len(series) + 1)
+        diagnostics = []
+        for poller, columns in zip(self.pollers, self._assigned_columns):
+            polls = poller.run_schedule_matrix(
+                rate_matrix[:, columns], start_time=start_time
+            )
+            rates, poller_diagnostics = rates_from_poll_matrix(
+                polls, max_interpolated_fraction=self.max_interpolated_fraction
+            )
+            diagnostics.append(poller_diagnostics)
+            self.archive.record_block(poller.object_names, timestamps, rates)
+        self.poll_diagnostics = tuple(diagnostics)
         return self.archive
+
+    def collection_diagnostics(self) -> RateDiagnostics:
+        """Sample accounting of the last :meth:`collect`, merged over pollers."""
+        if not self.poll_diagnostics:
+            raise MeasurementError("no collection has run yet")
+        merged = self.poll_diagnostics[0]
+        for diagnostics in self.poll_diagnostics[1:]:
+            merged = merged.merged(diagnostics)
+        return merged
 
     # ------------------------------------------------------------------
     def measured_traffic_series(self) -> TrafficMatrixSeries:
@@ -175,14 +294,22 @@ class DistributedCollector:
 
         This is the paper's headline capability: because every demand is an
         LSP with its own counter, the collected archive *is* a complete
-        traffic matrix per interval.
+        traffic matrix per interval.  Snapshot ``k`` is stamped with the
+        *start* of its interval (archive timestamps are interval ends), so
+        the returned series carries the same timestamps as the driving
+        series.
         """
         rates = self.archive.rates_matrix(self._lsp_names)
         snapshots = [
             TrafficMatrix(self.routing.pairs, np.maximum(rates[k], 0.0))
             for k in range(rates.shape[0])
         ]
-        return TrafficMatrixSeries(snapshots, interval_seconds=self.interval_seconds)
+        first_poll = float(self.archive.schedule(self._lsp_names[0])[0])
+        return TrafficMatrixSeries(
+            snapshots,
+            interval_seconds=self.interval_seconds,
+            start_time_seconds=first_poll - self.interval_seconds,
+        )
 
     def measured_link_loads(self) -> np.ndarray:
         """Measured link-load series of shape ``(K, L)`` from link counters."""

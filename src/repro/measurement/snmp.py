@@ -12,24 +12,42 @@ This module models that pipeline for a single poller:
 * :class:`CounterState` — a monotonically increasing 64-bit byte counter for
   one measured object (link or LSP), advanced by the true traffic process;
 * :class:`SNMPPoller` — polls a set of counters on a fixed schedule with
-  per-poll jitter and optional UDP loss, producing :class:`PollResult`
-  records with interval-adjusted rates;
-* :func:`rates_from_polls` — turns consecutive poll results into the rate
-  samples the estimation pipeline consumes, interpolating over lost polls.
+  per-poll jitter and optional UDP loss.  The counters are stored as one
+  ``uint64`` array and advanced/polled with array operations, so a poller
+  tracking hundreds of objects over a day of five-minute intervals costs a
+  handful of NumPy calls instead of a Python loop per (object, round);
+* :class:`PollMatrix` — the dense ``(rounds, objects)`` outcome of a polling
+  schedule (response times, counter values, loss mask), convertible to and
+  from per-round :class:`PollResult` lists;
+* :func:`rates_from_polls` / :func:`rates_from_poll_matrix` — turn
+  consecutive poll rounds into the rate samples the estimation pipeline
+  consumes, interpolating over lost polls and reporting
+  :class:`RateDiagnostics` (how many samples were lost to UDP, degenerate
+  because no time elapsed between responses, or filled by interpolation).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import MeasurementError
 
-__all__ = ["CounterState", "PollResult", "SNMPPoller", "rates_from_polls"]
+__all__ = [
+    "CounterState",
+    "PollResult",
+    "PollMatrix",
+    "RateDiagnostics",
+    "SNMPPoller",
+    "rates_from_polls",
+    "rates_from_poll_matrix",
+]
 
 _COUNTER64_WRAP = 2**64
+#: Bytes accumulated per second at 1 Mbit/s.
+_BYTES_PER_MBPS_SECOND = 1e6 / 8.0
 
 
 @dataclass
@@ -53,8 +71,39 @@ class CounterState:
             raise MeasurementError(f"counter {self.name!r} advanced with negative rate")
         if duration_seconds < 0:
             raise MeasurementError("duration must be non-negative")
-        added_bytes = int(round(rate_mbps * 1e6 / 8.0 * duration_seconds))
+        added_bytes = int(round(rate_mbps * _BYTES_PER_MBPS_SECOND * duration_seconds))
         self.value_bytes = (self.value_bytes + added_bytes) % _COUNTER64_WRAP
+
+
+class _CounterView:
+    """:class:`CounterState`-compatible live view into a poller's counter array."""
+
+    __slots__ = ("name", "_values", "_column")
+
+    def __init__(self, name: str, values: np.ndarray, column: int) -> None:
+        self.name = name
+        self._values = values
+        self._column = column
+
+    @property
+    def value_bytes(self) -> int:
+        return int(self._values[self._column])
+
+    @value_bytes.setter
+    def value_bytes(self, value: int) -> None:
+        self._values[self._column] = np.uint64(value % _COUNTER64_WRAP)
+
+    def advance(self, rate_mbps: float, duration_seconds: float) -> None:
+        """Advance the counter by ``rate_mbps`` sustained for ``duration_seconds``."""
+        if rate_mbps < 0:
+            raise MeasurementError(f"counter {self.name!r} advanced with negative rate")
+        if duration_seconds < 0:
+            raise MeasurementError("duration must be non-negative")
+        added = int(round(rate_mbps * _BYTES_PER_MBPS_SECOND * duration_seconds))
+        self.value_bytes = self.value_bytes + added
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterState(name={self.name!r}, value_bytes={self.value_bytes})"
 
 
 @dataclass(frozen=True)
@@ -84,8 +133,167 @@ class PollResult:
         return self.counter_bytes is None
 
 
+@dataclass(frozen=True)
+class PollMatrix:
+    """Dense outcome of a polling schedule: ``(rounds, objects)`` arrays.
+
+    Attributes
+    ----------
+    object_names:
+        Column labels.
+    scheduled_times:
+        Nominal poll timestamps, shape ``(rounds,)``.
+    response_times:
+        Actual (jittered) response times, shape ``(rounds, objects)``.
+    counters:
+        Counter values read, shape ``(rounds, objects)``, ``uint64``; entries
+        where ``lost`` is true are undefined (stored as zero).
+    lost:
+        Boolean UDP-loss mask, shape ``(rounds, objects)``.
+    """
+
+    object_names: tuple[str, ...]
+    scheduled_times: np.ndarray
+    response_times: np.ndarray
+    counters: np.ndarray
+    lost: np.ndarray
+
+    def __post_init__(self) -> None:
+        rounds = len(self.scheduled_times)
+        shape = (rounds, len(self.object_names))
+        for attribute in ("response_times", "counters", "lost"):
+            if getattr(self, attribute).shape != shape:
+                raise MeasurementError(
+                    f"poll matrix field {attribute} has shape "
+                    f"{getattr(self, attribute).shape}, expected {shape}"
+                )
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of poll rounds (intervals + 1)."""
+        return len(self.scheduled_times)
+
+    @property
+    def num_objects(self) -> int:
+        """Number of polled objects."""
+        return len(self.object_names)
+
+    @classmethod
+    def from_rounds(
+        cls,
+        poll_rounds: Sequence[Sequence[PollResult]],
+        object_names: Sequence[str],
+    ) -> "PollMatrix":
+        """Assemble a matrix from per-round :class:`PollResult` lists.
+
+        Every round must contain a result for every requested object.
+        """
+        names = tuple(object_names)
+        rounds = len(poll_rounds)
+        scheduled = np.empty(rounds)
+        response = np.empty((rounds, len(names)))
+        counters = np.zeros((rounds, len(names)), dtype=np.uint64)
+        lost = np.zeros((rounds, len(names)), dtype=bool)
+        for row, round_results in enumerate(poll_rounds):
+            indexed = {result.object_name: result for result in round_results}
+            missing = set(names) - set(indexed)
+            if missing:
+                raise MeasurementError(f"poll round missing objects: {sorted(missing)}")
+            scheduled[row] = indexed[names[0]].scheduled_time if names else 0.0
+            for col, name in enumerate(names):
+                result = indexed[name]
+                response[row, col] = result.response_time
+                if result.lost:
+                    lost[row, col] = True
+                else:
+                    counters[row, col] = np.uint64(result.counter_bytes % _COUNTER64_WRAP)
+        return cls(
+            object_names=names,
+            scheduled_times=scheduled,
+            response_times=response,
+            counters=counters,
+            lost=lost,
+        )
+
+    def round_results(self, index: int) -> list[PollResult]:
+        """Round ``index`` as a list of :class:`PollResult` (compatibility view)."""
+        if not 0 <= index < self.num_rounds:
+            raise MeasurementError(
+                f"round index {index} out of range for {self.num_rounds} rounds"
+            )
+        return [
+            PollResult(
+                object_name=name,
+                scheduled_time=float(self.scheduled_times[index]),
+                response_time=float(self.response_times[index, col]),
+                counter_bytes=None if self.lost[index, col] else int(self.counters[index, col]),
+            )
+            for col, name in enumerate(self.object_names)
+        ]
+
+    def to_rounds(self) -> list[list[PollResult]]:
+        """The whole schedule as per-round :class:`PollResult` lists."""
+        return [self.round_results(index) for index in range(self.num_rounds)]
+
+
+@dataclass(frozen=True)
+class RateDiagnostics:
+    """Sample accounting of one poll-rounds → rates conversion.
+
+    Attributes
+    ----------
+    num_intervals:
+        Number of measurement intervals (poll rounds minus one).
+    num_objects:
+        Number of measured objects.
+    lost_samples:
+        ``(interval, object)`` samples unusable because at least one of the
+        two bounding polls was lost to UDP.
+    degenerate_samples:
+        Samples where both polls answered but no time elapsed between the
+        responses (``elapsed <= 0``), so no rate can be derived.
+    interpolated_samples:
+        Samples filled by interpolation from neighbouring valid samples
+        (every lost or degenerate sample is filled, so this equals their sum).
+    """
+
+    num_intervals: int
+    num_objects: int
+    lost_samples: int
+    degenerate_samples: int
+    interpolated_samples: int
+
+    @property
+    def total_samples(self) -> int:
+        """Total number of ``(interval, object)`` samples."""
+        return self.num_intervals * self.num_objects
+
+    @property
+    def interpolated_fraction(self) -> float:
+        """Fraction of samples that had to be interpolated."""
+        if self.total_samples == 0:
+            return 0.0
+        return self.interpolated_samples / self.total_samples
+
+    def merged(self, other: "RateDiagnostics") -> "RateDiagnostics":
+        """Combine the accounting of two conversions (e.g. of two pollers)."""
+        if self.num_intervals != other.num_intervals:
+            raise MeasurementError("cannot merge diagnostics over different interval counts")
+        return RateDiagnostics(
+            num_intervals=self.num_intervals,
+            num_objects=self.num_objects + other.num_objects,
+            lost_samples=self.lost_samples + other.lost_samples,
+            degenerate_samples=self.degenerate_samples + other.degenerate_samples,
+            interpolated_samples=self.interpolated_samples + other.interpolated_samples,
+        )
+
+
 class SNMPPoller:
     """Simulates one SNMP poller and its polling schedule.
+
+    Counters are held as a single ``uint64`` array (one entry per object) so
+    that advancing and polling the whole object set are array operations;
+    :meth:`counter` exposes a per-object view for tests and advanced use.
 
     Parameters
     ----------
@@ -125,20 +333,65 @@ class SNMPPoller:
         self.jitter_std_seconds = float(jitter_std_seconds)
         self.loss_probability = float(loss_probability)
         self._rng = np.random.default_rng(seed)
-        self._counters = {name: CounterState(name) for name in self.object_names}
+        self._values = np.zeros(len(self.object_names), dtype=np.uint64)
+        self._column = {name: col for col, name in enumerate(self.object_names)}
 
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> CounterState:
-        """The counter state of ``name`` (for tests and advanced use)."""
+    @property
+    def num_objects(self) -> int:
+        """Number of objects this poller tracks."""
+        return len(self.object_names)
+
+    def counter(self, name: str) -> _CounterView:
+        """A live counter view of ``name`` (for tests and advanced use)."""
         try:
-            return self._counters[name]
+            return _CounterView(name, self._values, self._column[name])
         except KeyError as exc:
             raise MeasurementError(f"poller does not track object {name!r}") from exc
 
-    def advance_counters(self, rates_mbps: Mapping[str, float], duration_seconds: float) -> None:
-        """Advance every tracked counter with the given sustained rates."""
-        for name in self.object_names:
-            self._counters[name].advance(float(rates_mbps.get(name, 0.0)), duration_seconds)
+    def counter_values(self) -> np.ndarray:
+        """Current counter values as a ``uint64`` array in object order."""
+        return self._values.copy()
+
+    def _rates_array(
+        self, rates_mbps: Union[Mapping[str, float], np.ndarray, Sequence[float]]
+    ) -> np.ndarray:
+        if isinstance(rates_mbps, Mapping):
+            rates = np.array(
+                [float(rates_mbps.get(name, 0.0)) for name in self.object_names]
+            )
+        else:
+            rates = np.asarray(rates_mbps, dtype=float)
+            if rates.shape != (self.num_objects,):
+                raise MeasurementError(
+                    f"rate vector has shape {rates.shape}, "
+                    f"expected ({self.num_objects},)"
+                )
+        if np.any(rates < 0):
+            raise MeasurementError("counters cannot be advanced with negative rates")
+        return rates
+
+    def advance_counters(
+        self,
+        rates_mbps: Union[Mapping[str, float], np.ndarray, Sequence[float]],
+        duration_seconds: float,
+    ) -> None:
+        """Advance every tracked counter with the given sustained rates.
+
+        ``rates_mbps`` may be a ``name -> rate`` mapping (missing names count
+        as zero) or an array aligned with :attr:`object_names`.
+        """
+        if duration_seconds < 0:
+            raise MeasurementError("duration must be non-negative")
+        rates = self._rates_array(rates_mbps)
+        added = np.rint(rates * (_BYTES_PER_MBPS_SECOND * duration_seconds))
+        self._values = self._values + added.astype(np.uint64)
+
+    def _poll_arrays(self, scheduled_time: float) -> tuple[np.ndarray, np.ndarray]:
+        """One poll round: jittered response times and the loss mask."""
+        jitter = np.abs(self._rng.normal(scale=self.jitter_std_seconds, size=self.num_objects))
+        lost = self._rng.random(self.num_objects) < self.loss_probability
+        return scheduled_time + jitter, lost
 
     def poll(self, scheduled_time: float) -> list[PollResult]:
         """Poll every object once at ``scheduled_time``.
@@ -146,84 +399,178 @@ class SNMPPoller:
         Returns one :class:`PollResult` per object; lost polls have
         ``counter_bytes = None``.
         """
-        results = []
-        for name in self.object_names:
-            jitter = abs(float(self._rng.normal(scale=self.jitter_std_seconds)))
-            lost = bool(self._rng.random() < self.loss_probability)
-            results.append(
-                PollResult(
-                    object_name=name,
-                    scheduled_time=scheduled_time,
-                    response_time=scheduled_time + jitter,
-                    counter_bytes=None if lost else self._counters[name].value_bytes,
-                )
+        response_times, lost = self._poll_arrays(scheduled_time)
+        return [
+            PollResult(
+                object_name=name,
+                scheduled_time=scheduled_time,
+                response_time=float(response_times[col]),
+                counter_bytes=None if lost[col] else int(self._values[col]),
             )
-        return results
+            for col, name in enumerate(self.object_names)
+        ]
+
+    def run_schedule_matrix(
+        self,
+        rate_matrix_mbps: np.ndarray,
+        start_time: float = 0.0,
+    ) -> PollMatrix:
+        """Drive the counters with a rate matrix and poll after every interval.
+
+        ``rate_matrix_mbps`` has shape ``(K, num_objects)``: the sustained
+        per-object rates during each of the ``K`` intervals, columns aligned
+        with :attr:`object_names`.  Counter trajectories are one cumulative
+        sum and each round's jitter/loss one vectorised draw, so the whole
+        schedule is O(K) NumPy calls instead of O(K * objects) Python steps.
+        The random stream is drawn in the same order as repeated
+        :meth:`poll` calls, so this is a faster path, not a different model.
+
+        Returns a :class:`PollMatrix` with ``K + 1`` rounds, *including* an
+        initial poll at ``start_time`` so that rates can be derived from
+        consecutive counter differences.
+        """
+        rates = np.asarray(rate_matrix_mbps, dtype=float)
+        if rates.ndim != 2 or rates.shape[1] != self.num_objects:
+            raise MeasurementError(
+                f"rate matrix has shape {rates.shape}, "
+                f"expected (K, {self.num_objects})"
+            )
+        if np.any(rates < 0):
+            raise MeasurementError("counters cannot be advanced with negative rates")
+        num_intervals = rates.shape[0]
+
+        added = np.rint(rates * (_BYTES_PER_MBPS_SECOND * self.interval_seconds))
+        counters = np.empty((num_intervals + 1, self.num_objects), dtype=np.uint64)
+        counters[0] = self._values
+        counters[1:] = self._values + np.cumsum(added.astype(np.uint64), axis=0)
+        self._values = counters[-1].copy()
+
+        scheduled = start_time + self.interval_seconds * np.arange(num_intervals + 1)
+        response = np.empty((num_intervals + 1, self.num_objects))
+        lost = np.empty((num_intervals + 1, self.num_objects), dtype=bool)
+        for row in range(num_intervals + 1):
+            response[row], lost[row] = self._poll_arrays(float(scheduled[row]))
+        return PollMatrix(
+            object_names=self.object_names,
+            scheduled_times=scheduled,
+            response_times=response,
+            counters=counters,
+            lost=lost,
+        )
 
     def run_schedule(
         self,
-        rate_series_mbps: Sequence[Mapping[str, float]],
+        rate_series_mbps: Union[Sequence[Mapping[str, float]], np.ndarray],
         start_time: float = 0.0,
     ) -> list[list[PollResult]]:
         """Drive the counters with a rate series and poll after every interval.
 
         ``rate_series_mbps[k]`` is the sustained per-object rate during the
-        ``k``-th interval.  The returned list has one poll round per interval
-        boundary, *including* an initial poll at ``start_time`` so that rates
-        can be derived from consecutive counter differences.
+        ``k``-th interval (a mapping per interval, or a ``(K, objects)``
+        array).  The returned list has one poll round per interval boundary,
+        *including* an initial poll at ``start_time``.  This is the
+        compatibility view of :meth:`run_schedule_matrix`; both consume the
+        random stream identically.
         """
-        rounds = [self.poll(start_time)]
-        for k, rates in enumerate(rate_series_mbps):
-            self.advance_counters(rates, self.interval_seconds)
-            rounds.append(self.poll(start_time + (k + 1) * self.interval_seconds))
-        return rounds
+        if isinstance(rate_series_mbps, np.ndarray):
+            rate_matrix = rate_series_mbps
+        else:
+            rate_matrix = np.array(
+                [self._rates_array(rates) for rates in rate_series_mbps]
+            ).reshape(len(rate_series_mbps), self.num_objects)
+        return self.run_schedule_matrix(rate_matrix, start_time=start_time).to_rounds()
+
+
+def rates_from_poll_matrix(
+    polls: PollMatrix,
+    max_interpolated_fraction: float = 1.0,
+) -> tuple[np.ndarray, RateDiagnostics]:
+    """Convert a :class:`PollMatrix` into interval rates plus diagnostics.
+
+    The rate of object ``o`` during interval ``k`` is the counter difference
+    between round ``k+1`` and round ``k`` divided by the *actual* elapsed
+    time between the two responses — the interval-length adjustment the
+    paper describes.  Samples where either poll was lost (UDP) or where no
+    time elapsed between the responses (degenerate jitter) are linearly
+    interpolated from the nearest valid samples of the same object (constant
+    extrapolation at the boundaries), and both kinds are counted separately
+    in the returned :class:`RateDiagnostics`.
+
+    Parameters
+    ----------
+    polls:
+        The ``(K + 1, objects)`` poll outcome.
+    max_interpolated_fraction:
+        Raise :class:`~repro.errors.MeasurementError` when the fraction of
+        interpolated samples exceeds this threshold (the default ``1.0``
+        never raises); archives built from heavily interpolated data are not
+        measurements any more.
+
+    Returns ``(rates, diagnostics)`` with ``rates`` of shape
+    ``(K, num_objects)``.
+    """
+    if polls.num_rounds < 2:
+        raise MeasurementError("need at least two poll rounds to derive rates")
+    if not 0 <= max_interpolated_fraction <= 1:
+        raise MeasurementError("max_interpolated_fraction must lie in [0, 1]")
+    num_intervals = polls.num_rounds - 1
+
+    # uint64 subtraction wraps modulo 2**64 exactly like the Counter64 MIB.
+    deltas = polls.counters[1:] - polls.counters[:-1]
+    elapsed = polls.response_times[1:] - polls.response_times[:-1]
+    pair_lost = polls.lost[1:] | polls.lost[:-1]
+    degenerate = ~pair_lost & (elapsed <= 0)
+    valid = ~pair_lost & ~degenerate
+
+    rates = np.full((num_intervals, polls.num_objects), np.nan)
+    rates[valid] = (
+        deltas[valid].astype(float) * (8.0 / 1e6) / elapsed[valid]
+    )
+
+    valid_per_object = valid.any(axis=0)
+    if not valid_per_object.all():
+        name = polls.object_names[int(np.argmin(valid_per_object))]
+        raise MeasurementError(f"all polls lost for object {name!r}")
+
+    diagnostics = RateDiagnostics(
+        num_intervals=num_intervals,
+        num_objects=polls.num_objects,
+        lost_samples=int(pair_lost.sum()),
+        degenerate_samples=int(degenerate.sum()),
+        interpolated_samples=int((~valid).sum()),
+    )
+    if diagnostics.interpolated_fraction > max_interpolated_fraction:
+        raise MeasurementError(
+            f"{diagnostics.interpolated_samples} of {diagnostics.total_samples} samples "
+            f"({diagnostics.interpolated_fraction:.1%}) would be interpolated, "
+            f"exceeding the allowed fraction {max_interpolated_fraction:.1%}"
+        )
+
+    indices = np.arange(num_intervals)
+    for col in np.nonzero(~valid.all(axis=0))[0]:
+        column = rates[:, col]
+        known = ~np.isnan(column)
+        column[~known] = np.interp(indices[~known], indices[known], column[known])
+    return rates, diagnostics
 
 
 def rates_from_polls(
     poll_rounds: Sequence[Sequence[PollResult]],
     object_names: Sequence[str],
-) -> np.ndarray:
+    max_interpolated_fraction: float = 1.0,
+    return_diagnostics: bool = False,
+) -> Union[np.ndarray, tuple[np.ndarray, RateDiagnostics]]:
     """Convert consecutive poll rounds into interval rates in Mbit/s.
 
-    The rate of object ``o`` during interval ``k`` is the counter difference
-    between round ``k+1`` and round ``k`` divided by the *actual* elapsed
-    time between the two responses — the interval-length adjustment the
-    paper describes.  When either poll was lost the rate is linearly
-    interpolated from the nearest valid samples of the same object (constant
-    extrapolation at the boundaries).
-
-    Returns an array of shape ``(K, num_objects)`` for ``K + 1`` poll rounds.
+    Compatibility wrapper over :func:`rates_from_poll_matrix` for per-round
+    :class:`PollResult` lists.  Returns an array of shape
+    ``(K, num_objects)`` for ``K + 1`` poll rounds, or
+    ``(rates, diagnostics)`` when ``return_diagnostics`` is set.
     """
-    if len(poll_rounds) < 2:
-        raise MeasurementError("need at least two poll rounds to derive rates")
-    name_index = {name: idx for idx, name in enumerate(object_names)}
-    num_intervals = len(poll_rounds) - 1
-    rates = np.full((num_intervals, len(object_names)), np.nan)
-
-    by_round: list[dict[str, PollResult]] = []
-    for round_results in poll_rounds:
-        indexed = {result.object_name: result for result in round_results}
-        missing = set(object_names) - set(indexed)
-        if missing:
-            raise MeasurementError(f"poll round missing objects: {sorted(missing)}")
-        by_round.append(indexed)
-
-    for name, col in name_index.items():
-        for k in range(num_intervals):
-            first, second = by_round[k][name], by_round[k + 1][name]
-            if first.lost or second.lost:
-                continue
-            elapsed = second.response_time - first.response_time
-            if elapsed <= 0:
-                continue
-            delta = (second.counter_bytes - first.counter_bytes) % _COUNTER64_WRAP
-            rates[k, col] = delta * 8.0 / 1e6 / elapsed
-        column = rates[:, col]
-        valid = ~np.isnan(column)
-        if not valid.any():
-            raise MeasurementError(f"all polls lost for object {name!r}")
-        if not valid.all():
-            indices = np.arange(num_intervals)
-            column[~valid] = np.interp(indices[~valid], indices[valid], column[valid])
-            rates[:, col] = column
+    matrix = PollMatrix.from_rounds(poll_rounds, object_names)
+    rates, diagnostics = rates_from_poll_matrix(
+        matrix, max_interpolated_fraction=max_interpolated_fraction
+    )
+    if return_diagnostics:
+        return rates, diagnostics
     return rates

@@ -374,11 +374,11 @@ class TrafficMatrixSeries:
             start_time_seconds=self.start_time_seconds + start * self.interval_seconds,
         )
 
-    def busy_window(self, length: int) -> "TrafficMatrixSeries":
-        """The ``length`` consecutive snapshots with the highest total traffic.
+    def busy_window_start(self, length: int) -> int:
+        """Start index of the ``length``-snapshot window with the most traffic.
 
-        This mirrors the paper's focus on the busy period (the shaded
-        interval of its Figure 1) for the estimation benchmarks.
+        Exposed separately from :meth:`busy_window` so that parallel series
+        (e.g. measured link loads) can be sliced to the same interval.
         """
         if length <= 0:
             raise TrafficError("window length must be positive")
@@ -386,5 +386,12 @@ class TrafficMatrixSeries:
             raise TrafficError("window longer than the series")
         totals = self.total_traffic_series()
         sums = np.convolve(totals, np.ones(length), mode="valid")
-        start = int(np.argmax(sums))
-        return self.window(start, length)
+        return int(np.argmax(sums))
+
+    def busy_window(self, length: int) -> "TrafficMatrixSeries":
+        """The ``length`` consecutive snapshots with the highest total traffic.
+
+        This mirrors the paper's focus on the busy period (the shaded
+        interval of its Figure 1) for the estimation benchmarks.
+        """
+        return self.window(self.busy_window_start(length), length)

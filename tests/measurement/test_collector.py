@@ -39,6 +39,61 @@ class TestArchive:
         matrix = archive.rates_matrix(["a"])
         assert matrix.shape == (2, 1)
 
+    def test_samples_and_rates_matrix_sort_by_timestamp(self):
+        # A backup poller may ship its results first; the assembled series
+        # must still be in time order, not insertion order.
+        archive = MeasurementArchive()
+        archive.record("a", 600.0, 3.0)
+        archive.record("a", 0.0, 1.0)
+        archive.record("a", 300.0, 2.0)
+        archive.record("b", 0.0, 10.0)
+        archive.record("b", 600.0, 30.0)
+        archive.record("b", 300.0, 20.0)
+        assert archive.samples("a") == ((0.0, 1.0), (300.0, 2.0), (600.0, 3.0))
+        assert np.allclose(archive.schedule("a"), [0.0, 300.0, 600.0])
+        matrix = archive.rates_matrix(["a", "b"])
+        assert np.allclose(matrix, [[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+
+    def test_rates_matrix_rejects_mismatched_schedules(self):
+        archive = MeasurementArchive()
+        archive.record("a", 0.0, 1.0)
+        archive.record("a", 300.0, 2.0)
+        archive.record("b", 0.0, 3.0)
+        archive.record("b", 600.0, 4.0)  # same count, different timestamps
+        with pytest.raises(MeasurementError, match="different schedule"):
+            archive.rates_matrix(["a", "b"])
+
+    def test_rates_matrix_rejects_duplicate_timestamps(self):
+        archive = MeasurementArchive()
+        archive.record("a", 0.0, 1.0)
+        archive.record("a", 0.0, 2.0)
+        with pytest.raises(MeasurementError, match="duplicate"):
+            archive.rates_matrix(["a"])
+
+    def test_record_block_bulk_matches_per_sample_records(self):
+        timestamps = np.array([300.0, 600.0, 900.0])
+        rates = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        bulk = MeasurementArchive()
+        bulk.record_block(["a", "b"], timestamps, rates)
+        single = MeasurementArchive()
+        for k, timestamp in enumerate(timestamps):
+            single.record("a", timestamp, rates[k, 0])
+            single.record("b", timestamp, rates[k, 1])
+        assert bulk.samples("a") == single.samples("a")
+        assert bulk.num_samples("b") == 3
+        assert np.allclose(
+            bulk.rates_matrix(["a", "b"]), single.rates_matrix(["a", "b"])
+        )
+
+    def test_record_block_validation(self):
+        archive = MeasurementArchive()
+        with pytest.raises(MeasurementError):
+            archive.record_block(["a"], np.array([0.0]), np.array([[-1.0]]))
+        with pytest.raises(MeasurementError):
+            archive.record_block(["a", "b"], np.array([0.0]), np.array([[1.0]]))
+        with pytest.raises(MeasurementError):
+            archive.record_block(["a", "a"], np.array([0.0]), np.array([[1.0, 2.0]]))
+
 
 @pytest.fixture
 def line_series(line_network):
@@ -97,3 +152,68 @@ class TestDistributedCollector:
         per_poller = [len(p.object_names) for p in collector.pollers]
         assert sum(per_poller) == routing.num_pairs + routing.num_links
         assert max(per_poller) - min(per_poller) <= 1
+
+    def test_archive_timestamps_are_interval_ends(self, line_network, line_series):
+        routing = build_routing_matrix(line_network)
+        collector = DistributedCollector(
+            routing, num_pollers=1, jitter_std_seconds=0.0, loss_probability=0.0, seed=1
+        )
+        collector.collect(line_series)
+        name = collector.pollers[0].object_names[0]
+        # The rate of interval k is derived from the poll closing it, so
+        # samples are stamped start + (k+1) * interval.
+        expected = 300.0 * np.arange(1, len(line_series) + 1)
+        assert np.allclose(collector.archive.schedule(name), expected)
+
+    def test_measured_series_aligns_with_driving_series(self, line_network):
+        routing = build_routing_matrix(line_network)
+        start = 18 * 3600.0
+        snapshots = [
+            TrafficMatrix.from_network(
+                line_network, {NodePair("A", "D"): 100.0 + 10.0 * k}
+            )
+            for k in range(4)
+        ]
+        series = TrafficMatrixSeries(snapshots, start_time_seconds=start)
+        collector = DistributedCollector(
+            routing, num_pollers=2, jitter_std_seconds=0.0, loss_probability=0.0, seed=1
+        )
+        # start_time defaults to the series' own start time.
+        collector.collect(series)
+        measured = collector.measured_traffic_series()
+        assert np.allclose(measured.timestamps(), series.timestamps())
+        truth = series.as_array()
+        assert np.allclose(measured.as_array(), truth, rtol=1e-6, atol=1e-3)
+
+    def test_interval_mismatch_rejected(self, line_network, line_series):
+        routing = build_routing_matrix(line_network)
+        collector = DistributedCollector(routing, interval_seconds=60.0, seed=1)
+        with pytest.raises(MeasurementError, match="interval"):
+            collector.collect(line_series)
+
+    def test_collection_diagnostics_cover_all_objects(self, line_network, line_series):
+        routing = build_routing_matrix(line_network)
+        collector = DistributedCollector(
+            routing, num_pollers=3, jitter_std_seconds=2.0, loss_probability=0.2, seed=2
+        )
+        with pytest.raises(MeasurementError):
+            collector.collection_diagnostics()
+        collector.collect(line_series)
+        diagnostics = collector.collection_diagnostics()
+        assert diagnostics.num_objects == routing.num_pairs + routing.num_links
+        assert diagnostics.num_intervals == len(line_series)
+        assert diagnostics.lost_samples > 0
+        assert diagnostics.interpolated_samples >= diagnostics.lost_samples
+
+    def test_max_interpolated_fraction_enforced(self, line_network, line_series):
+        routing = build_routing_matrix(line_network)
+        collector = DistributedCollector(
+            routing,
+            num_pollers=1,
+            jitter_std_seconds=0.0,
+            loss_probability=0.3,
+            seed=6,
+            max_interpolated_fraction=0.1,
+        )
+        with pytest.raises(MeasurementError, match="interpolated"):
+            collector.collect(line_series)

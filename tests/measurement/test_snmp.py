@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.errors import MeasurementError
-from repro.measurement import CounterState, PollResult, SNMPPoller, rates_from_polls
+from repro.measurement import (
+    CounterState,
+    PollMatrix,
+    PollResult,
+    SNMPPoller,
+    rates_from_poll_matrix,
+    rates_from_polls,
+)
 
 
 class TestCounterState:
@@ -104,3 +111,173 @@ class TestRatesFromPolls:
         ]
         with pytest.raises(MeasurementError):
             rates_from_polls(rounds, ["x"])
+
+
+def _reference_rates(poll_rounds, object_names):
+    """The pre-vectorization per-sample loop, kept as the agreement oracle."""
+    name_index = {name: idx for idx, name in enumerate(object_names)}
+    num_intervals = len(poll_rounds) - 1
+    rates = np.full((num_intervals, len(object_names)), np.nan)
+    by_round = [{r.object_name: r for r in round_results} for round_results in poll_rounds]
+    for name, col in name_index.items():
+        for k in range(num_intervals):
+            first, second = by_round[k][name], by_round[k + 1][name]
+            if first.lost or second.lost:
+                continue
+            elapsed = second.response_time - first.response_time
+            if elapsed <= 0:
+                continue
+            delta = (second.counter_bytes - first.counter_bytes) % 2**64
+            rates[k, col] = delta * 8.0 / 1e6 / elapsed
+        column = rates[:, col]
+        valid = ~np.isnan(column)
+        if not valid.all():
+            indices = np.arange(num_intervals)
+            column[~valid] = np.interp(indices[~valid], indices[valid], column[valid])
+    return rates
+
+
+class TestVectorizedPoller:
+    def test_matrix_and_mapping_schedules_share_the_random_stream(self):
+        names = ["a", "b", "c"]
+        rate_rows = [{"a": 100.0, "b": 50.0}, {"a": 75.0, "c": 25.0}]
+        rate_matrix = np.array([[100.0, 50.0, 0.0], [75.0, 0.0, 25.0]])
+
+        by_rounds = SNMPPoller(names, jitter_std_seconds=2.0, loss_probability=0.2, seed=9)
+        by_matrix = SNMPPoller(names, jitter_std_seconds=2.0, loss_probability=0.2, seed=9)
+        rounds = by_rounds.run_schedule(rate_rows, start_time=600.0)
+        matrix = by_matrix.run_schedule_matrix(rate_matrix, start_time=600.0)
+
+        assert matrix.num_rounds == len(rounds) == 3
+        for k, round_results in enumerate(rounds):
+            for col, result in enumerate(round_results):
+                assert result.response_time == pytest.approx(
+                    float(matrix.response_times[k, col])
+                )
+                assert result.lost == bool(matrix.lost[k, col])
+                if not result.lost:
+                    assert result.counter_bytes == int(matrix.counters[k, col])
+
+    def test_counter_view_reads_and_advances_the_array(self):
+        poller = SNMPPoller(["a", "b"], jitter_std_seconds=0.0, seed=1)
+        poller.counter("a").advance(rate_mbps=8.0, duration_seconds=1.0)
+        assert poller.counter("a").value_bytes == 1_000_000
+        assert poller.counter("b").value_bytes == 0
+        assert poller.counter_values().tolist() == [1_000_000, 0]
+
+    def test_counters_wrap_like_counter64(self):
+        poller = SNMPPoller(["a"], jitter_std_seconds=0.0, seed=1)
+        poller.counter("a").value_bytes = 2**64 - 10
+        poller.advance_counters({"a": 8.0}, duration_seconds=1.0)
+        assert 0 <= poller.counter("a").value_bytes < 2**64
+        rates = rates_from_polls(
+            poller.run_schedule([{"a": 100.0}], start_time=0.0), ["a"]
+        )
+        assert rates[0, 0] == pytest.approx(100.0, rel=1e-6)
+
+    def test_negative_rates_rejected(self):
+        poller = SNMPPoller(["a"], seed=1)
+        with pytest.raises(MeasurementError):
+            poller.advance_counters({"a": -1.0}, 1.0)
+        with pytest.raises(MeasurementError):
+            poller.run_schedule_matrix(np.array([[-1.0]]))
+
+    def test_vectorized_rates_agree_with_reference_loop(self):
+        names = [f"o{i}" for i in range(7)]
+        poller = SNMPPoller(
+            names, jitter_std_seconds=3.0, loss_probability=0.2, seed=42
+        )
+        rng = np.random.default_rng(0)
+        rate_matrix = rng.uniform(10.0, 500.0, size=(30, len(names)))
+        polls = poller.run_schedule_matrix(rate_matrix, start_time=0.0)
+
+        vectorized, _ = rates_from_poll_matrix(polls)
+        reference = _reference_rates(polls.to_rounds(), names)
+        assert np.allclose(vectorized, reference, rtol=0, atol=1e-12)
+
+
+class TestRateDiagnostics:
+    def test_clean_run_has_no_interpolation(self):
+        poller = SNMPPoller(["a", "b"], jitter_std_seconds=0.0, seed=1)
+        rounds = poller.run_schedule([{"a": 10.0}] * 5)
+        _, diagnostics = rates_from_polls(rounds, ["a", "b"], return_diagnostics=True)
+        assert diagnostics.num_intervals == 5
+        assert diagnostics.num_objects == 2
+        assert diagnostics.total_samples == 10
+        assert diagnostics.lost_samples == 0
+        assert diagnostics.degenerate_samples == 0
+        assert diagnostics.interpolated_samples == 0
+        assert diagnostics.interpolated_fraction == 0.0
+
+    def test_lost_polls_are_counted(self):
+        rounds = [
+            [PollResult("x", 0.0, 0.0, 0)],
+            [PollResult("x", 300.0, 300.0, None)],
+            [PollResult("x", 600.0, 600.0, 2 * 300 * 125_000)],
+            [PollResult("x", 900.0, 900.0, 3 * 300 * 125_000)],
+        ]
+        rates, diagnostics = rates_from_polls(rounds, ["x"], return_diagnostics=True)
+        # The lost middle poll invalidates the two adjacent intervals.
+        assert diagnostics.lost_samples == 2
+        assert diagnostics.degenerate_samples == 0
+        assert diagnostics.interpolated_samples == 2
+        # The only valid interval carries 125 kB/s = 1 Mbit/s; the two
+        # invalidated intervals are filled by constant extrapolation.
+        assert np.allclose(rates[:, 0], 1.0)
+
+    def test_degenerate_intervals_counted_separately_from_loss(self):
+        # Second response arrives *before* the first (elapsed <= 0): both
+        # polls answered, so this is degenerate, not UDP loss.
+        rounds = [
+            [PollResult("x", 0.0, 10.0, 0)],
+            [PollResult("x", 300.0, 5.0, 1000)],
+            [PollResult("x", 600.0, 605.0, 2000)],
+        ]
+        rates, diagnostics = rates_from_polls(rounds, ["x"], return_diagnostics=True)
+        assert diagnostics.degenerate_samples == 1
+        assert diagnostics.lost_samples == 0
+        assert diagnostics.interpolated_samples == 1
+        assert np.all(np.isfinite(rates))
+
+    def test_excessive_interpolation_raises(self):
+        rounds = [
+            [PollResult("x", 0.0, 0.0, 0)],
+            [PollResult("x", 300.0, 300.0, None)],
+            [PollResult("x", 600.0, 600.0, 2000)],
+            [PollResult("x", 900.0, 900.0, 3000)],
+        ]
+        with pytest.raises(MeasurementError, match="interpolated"):
+            rates_from_polls(rounds, ["x"], max_interpolated_fraction=0.5)
+        # The same data passes with a permissive threshold.
+        rates_from_polls(rounds, ["x"], max_interpolated_fraction=0.7)
+
+    def test_merged_accumulates_counts(self):
+        poller = SNMPPoller(["a"], jitter_std_seconds=0.0, seed=1)
+        _, first = rates_from_polls(
+            poller.run_schedule([{"a": 10.0}] * 4), ["a"], return_diagnostics=True
+        )
+        merged = first.merged(first)
+        assert merged.num_objects == 2
+        assert merged.total_samples == 8
+
+
+class TestPollMatrix:
+    def test_shape_validation(self):
+        with pytest.raises(MeasurementError):
+            PollMatrix(
+                object_names=("a",),
+                scheduled_times=np.zeros(2),
+                response_times=np.zeros((3, 1)),
+                counters=np.zeros((2, 1), dtype=np.uint64),
+                lost=np.zeros((2, 1), dtype=bool),
+            )
+
+    def test_roundtrip_through_rounds(self):
+        poller = SNMPPoller(["a", "b"], jitter_std_seconds=1.0, loss_probability=0.3, seed=3)
+        matrix = poller.run_schedule_matrix(np.full((4, 2), 50.0), start_time=100.0)
+        rebuilt = PollMatrix.from_rounds(matrix.to_rounds(), matrix.object_names)
+        assert np.allclose(rebuilt.response_times, matrix.response_times)
+        assert np.array_equal(rebuilt.lost, matrix.lost)
+        assert np.array_equal(
+            rebuilt.counters[~rebuilt.lost], matrix.counters[~matrix.lost]
+        )

@@ -1,0 +1,206 @@
+"""Acceptance benchmark: the robustness-grid experiment engine.
+
+A robustness grid evaluates every registered estimation method on measured
+(noisy) data for each ``(jitter, loss)`` combination.  Before this engine,
+each grid cell re-ran the entropy and tomogravity methods through the
+generic cold-start per-snapshot loop — the dominant cost of a cell — and
+the grid itself ran strictly serially.
+
+The new engine (``robustness_sweep(n_jobs=...)`` +
+``EntropyEstimator.estimate_series``) warm-starts each snapshot's solve
+from the previous solution with damped Newton refinement, shares each
+cell's scenario problems, and fans independent grid cells out over a
+process pool.  This benchmark times the legacy engine (re-implemented
+below: same cells, same scoring, entropy/tomogravity through the generic
+loop exactly as ``Estimator.estimate_series`` ran them) against the new
+one, verifies that serial and parallel runs of the new engine return
+identical records, and appends the measurement to ``BENCH_PR3.json``.
+
+Run directly (CI uses a relaxed threshold for slower shared runners)::
+
+    PYTHONPATH=src python benchmarks/bench_experiment_engine.py
+    PYTHONPATH=src BENCH_PR3_MIN_GRID_SPEEDUP=2.0 python benchmarks/bench_experiment_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_PR3.json"
+
+JITTER_VALUES = (0.0, 2.0, 10.0)
+LOSS_VALUES = (0.0, 0.02)
+METHODS = (
+    "gravity",
+    "kruithof",
+    "bayesian",
+    "entropy",
+    "tomogravity",
+    "vardi",
+    "fanout",
+    "cao",
+    "worst-case-bounds",
+)
+SEED = 0
+
+#: Methods that had no batched ``estimate_series`` before this engine and
+#: therefore ran through the generic cold-start per-snapshot loop.
+LEGACY_GENERIC = {"entropy", "tomogravity"}
+
+
+def merge_record(key: str, payload: dict) -> None:
+    """Insert ``payload`` under ``key`` in BENCH_PR3.json, keeping other keys."""
+    record = {}
+    if RECORD_PATH.exists():
+        try:
+            record = json.loads(RECORD_PATH.read_text())
+        except json.JSONDecodeError:
+            record = {}
+    record[key] = payload
+    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def legacy_generic_series(estimator, problem):
+    """The pre-engine series path: independent cold-start snapshot solves."""
+    series = problem.series
+    estimates = np.empty((series.shape[0], problem.num_pairs))
+    for index in range(series.shape[0]):
+        estimates[index] = estimator.estimate(problem.at_snapshot(index)).vector
+    return estimates
+
+
+def legacy_robustness_grid(scenario):
+    """The pre-engine serial grid: same cells, same scoring, no batching."""
+    from repro.errors import EstimationError, SolverError
+    from repro.estimation.registry import get_estimator
+    from repro.evaluation.metrics import mean_relative_error
+    from repro.traffic.matrix import TrafficMatrix
+
+    records = []
+    for jitter in JITTER_VALUES:
+        for loss in LOSS_VALUES:
+            measured = scenario.measured(
+                jitter_std_seconds=float(jitter),
+                loss_probability=float(loss),
+                seed=SEED,
+            )
+            problem = measured.series_problem()
+            truth_series = measured.busy_series()
+            truth_mean = truth_series.mean_matrix()
+            for name in METHODS:
+                estimator = get_estimator(name)
+                try:
+                    if name in LEGACY_GENERIC:
+                        estimates = legacy_generic_series(estimator, problem)
+                    else:
+                        estimates = estimator.estimate_series(problem).estimates
+                    mean_estimate = TrafficMatrix(
+                        problem.pairs, np.maximum(estimates.mean(axis=0), 0.0)
+                    )
+                    mre = mean_relative_error(mean_estimate, truth_mean)
+                    records.append((scenario.name, name, jitter, loss, mre, ""))
+                except (EstimationError, SolverError) as exc:
+                    records.append(
+                        (scenario.name, name, jitter, loss, float("nan"), str(exc))
+                    )
+    return records
+
+
+def records_agree(legacy, new_records, tolerance=1e-3):
+    """Legacy and new grids must report the same skips and close MREs."""
+    assert len(legacy) == len(new_records)
+    worst = 0.0
+    for old, new in zip(legacy, new_records):
+        assert old[0] == new.scenario and old[1] == new.method
+        assert old[2] == new.jitter_std_seconds and old[3] == new.loss_probability
+        assert bool(old[5]) == bool(new.error), (old, new)
+        if not old[5]:
+            if math.isnan(old[4]):
+                assert math.isnan(new.mre)
+            else:
+                worst = max(worst, abs(old[4] - new.mre) / max(abs(old[4]), 1e-9))
+    assert worst < tolerance, f"legacy/new MRE drift {worst:.2e} above {tolerance:.0e}"
+    return worst
+
+
+def main() -> dict:
+    from repro.datasets import europe_scenario
+    from repro.evaluation.experiments import robustness_sweep
+
+    minimum_speedup = float(os.environ.get("BENCH_PR3_MIN_GRID_SPEEDUP", "3.0"))
+    num_cells = len(JITTER_VALUES) * len(LOSS_VALUES)
+
+    print("[experiment engine] building the Europe scenario ...")
+    scenario = europe_scenario()
+    kwargs = dict(
+        jitter_values=JITTER_VALUES,
+        loss_values=LOSS_VALUES,
+        methods=METHODS,
+        seed=SEED,
+    )
+
+    print(f"[experiment engine] new engine, serial ({num_cells} cells) ...")
+    start = time.perf_counter()
+    serial_records = robustness_sweep(scenario, n_jobs=1, **kwargs)
+    serial_seconds = time.perf_counter() - start
+
+    print("[experiment engine] new engine, n_jobs=2 ...")
+    start = time.perf_counter()
+    parallel_records = robustness_sweep(scenario, n_jobs=2, **kwargs)
+    parallel_seconds = time.perf_counter() - start
+
+    # Acceptance: parallel records identical to the serial run.
+    assert len(parallel_records) == len(serial_records)
+    for a, b in zip(serial_records, parallel_records):
+        assert a.scenario == b.scenario and a.method == b.method
+        assert a.jitter_std_seconds == b.jitter_std_seconds
+        assert a.loss_probability == b.loss_probability
+        assert a.error == b.error
+        assert (math.isnan(a.mre) and math.isnan(b.mre)) or a.mre == b.mre
+
+    print("[experiment engine] legacy serial grid (cold-start loops) ...")
+    start = time.perf_counter()
+    legacy = legacy_robustness_grid(scenario)
+    legacy_seconds = time.perf_counter() - start
+    mre_drift = records_agree(legacy, serial_records)
+
+    best_seconds = min(serial_seconds, parallel_seconds)
+    speedup = legacy_seconds / best_seconds
+    payload = {
+        "scenario": "europe",
+        "grid_cells": num_cells,
+        "methods": list(METHODS),
+        "legacy_seconds": legacy_seconds,
+        "engine_serial_seconds": serial_seconds,
+        "engine_parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "minimum_speedup": minimum_speedup,
+        "parallel_identical_to_serial": True,
+        "max_relative_mre_drift_vs_legacy": mre_drift,
+        "cpu_count": os.cpu_count(),
+    }
+    merge_record("experiment_engine", payload)
+
+    print(
+        f"[experiment engine] legacy {legacy_seconds:6.2f}s  "
+        f"engine serial {serial_seconds:6.2f}s  n_jobs=2 {parallel_seconds:6.2f}s  "
+        f"speedup {speedup:5.2f}x  (MRE drift {mre_drift:.2e})"
+    )
+
+    assert speedup >= minimum_speedup, (
+        f"experiment engine speedup {speedup:.2f}x below the "
+        f"required {minimum_speedup:.1f}x"
+    )
+    print(f"[experiment engine] OK (>= {minimum_speedup:.1f}x), recorded in {RECORD_PATH.name}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Acceptance benchmark: batched worst-case-bound engine vs the serial loop.
+
+The paper (Section 4.3.1) warns that the worst-case-bound method costs two
+LPs per origin-destination pair; at America scale that is 1,200 cold-start
+LPs per snapshot.  The batched engine
+(:func:`repro.optimize.linear_program.bound_variables_batch`) builds the
+sparse constraint model once, resolves rank-pinned and combinatorially
+tight pairs without any LP, re-solves the survivors incrementally from the
+previous optimal basis, and skips minimisation LPs certified by zero
+witnesses.
+
+This benchmark times the legacy per-pair loop (re-implemented below
+exactly as ``worst_case_bounds`` ran it before the batch engine: one
+cold-start ``linprog`` call per LP over the shared augmented system)
+against the batched engine on the full America snapshot, checks the bounds
+agree within solver tolerance, and appends the measurement to
+``BENCH_PR3.json`` at the repository root.
+
+Run directly (CI uses a relaxed threshold for slower shared runners)::
+
+    PYTHONPATH=src python benchmarks/bench_worstcase_bounds.py
+    PYTHONPATH=src BENCH_PR3_MIN_WCB_SPEEDUP=2.0 python benchmarks/bench_worstcase_bounds.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_PR3.json"
+
+
+def merge_record(key: str, payload: dict) -> None:
+    """Insert ``payload`` under ``key`` in BENCH_PR3.json, keeping other keys."""
+    record = {}
+    if RECORD_PATH.exists():
+        try:
+            record = json.loads(RECORD_PATH.read_text())
+        except json.JSONDecodeError:
+            record = {}
+    record[key] = payload
+    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def serial_reference_bounds(matrix, rhs, num_pairs):
+    """The pre-batch-engine loop: two cold-start HiGHS LPs per pair."""
+    from repro.optimize.linear_program import solve_linear_program
+
+    lower = np.empty(num_pairs)
+    upper = np.empty(num_pairs)
+    for index in range(num_pairs):
+        cost = np.zeros(num_pairs)
+        cost[index] = 1.0
+        lower[index] = solve_linear_program(cost, matrix, rhs, maximise=False).objective
+        upper[index] = solve_linear_program(cost, matrix, rhs, maximise=True).objective
+    return lower, upper
+
+
+def main() -> dict:
+    from repro.datasets import america_scenario
+    from repro.optimize.linear_program import bound_variables_batch
+
+    minimum_speedup = float(os.environ.get("BENCH_PR3_MIN_WCB_SPEEDUP", "5.0"))
+
+    print("[worstcase bounds] building the America scenario ...")
+    scenario = america_scenario()
+    problem = scenario.snapshot_problem()
+    matrix, rhs = problem.augmented_system()
+    num_pairs = problem.num_pairs
+
+    print(f"[worstcase bounds] batched engine over {num_pairs} pairs ...")
+    start = time.perf_counter()
+    batch = bound_variables_batch(range(num_pairs), matrix, rhs)
+    batched_seconds = time.perf_counter() - start
+
+    print(f"[worstcase bounds] serial per-pair loop ({2 * num_pairs} LPs) ...")
+    start = time.perf_counter()
+    serial_lower, serial_upper = serial_reference_bounds(matrix, rhs, num_pairs)
+    serial_seconds = time.perf_counter() - start
+
+    scale = max(1.0, float(np.asarray(rhs).max()))
+    lower_difference = float(np.abs(batch.lower - serial_lower).max()) / scale
+    upper_difference = float(np.abs(batch.upper - serial_upper).max()) / scale
+    speedup = serial_seconds / batched_seconds
+
+    payload = {
+        "scenario": "america",
+        "num_pairs": num_pairs,
+        "num_constraints": int(np.asarray(rhs).shape[0]),
+        "serial_seconds": serial_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": speedup,
+        "minimum_speedup": minimum_speedup,
+        "engine": batch.engine,
+        "num_pinned": batch.num_pinned,
+        "num_tight": batch.num_tight,
+        "num_lps_solved": batch.num_lps_solved,
+        "num_lower_skipped": batch.num_lower_skipped,
+        "max_relative_lower_difference": lower_difference,
+        "max_relative_upper_difference": upper_difference,
+        "cpu_count": os.cpu_count(),
+    }
+    merge_record("worstcase_bounds", payload)
+
+    print(
+        f"[worstcase bounds] serial {serial_seconds:6.2f}s  "
+        f"batched {batched_seconds:6.2f}s  speedup {speedup:5.2f}x  "
+        f"(pinned {batch.num_pinned}, LPs {batch.num_lps_solved}/{2 * num_pairs}, "
+        f"min-LPs skipped {batch.num_lower_skipped}, engine {batch.engine})"
+    )
+    print(
+        f"[worstcase bounds] max relative bound difference: "
+        f"lower {lower_difference:.2e}, upper {upper_difference:.2e}"
+    )
+
+    assert lower_difference < 1e-6, "batched lower bounds diverge from the serial loop"
+    assert upper_difference < 1e-6, "batched upper bounds diverge from the serial loop"
+    assert speedup >= minimum_speedup, (
+        f"batched engine speedup {speedup:.2f}x below the "
+        f"required {minimum_speedup:.1f}x"
+    )
+    print(f"[worstcase bounds] OK (>= {minimum_speedup:.1f}x), recorded in {RECORD_PATH.name}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

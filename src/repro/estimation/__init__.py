@@ -68,6 +68,7 @@ from repro.estimation.vardi import VardiEstimator, link_load_moments
 from repro.estimation.worstcase import (
     DemandBounds,
     WorstCaseBoundsEstimator,
+    select_large_pairs,
     worst_case_bounds,
 )
 
@@ -94,6 +95,7 @@ __all__ = [
     "WorstCaseBoundsEstimator",
     "DemandBounds",
     "worst_case_bounds",
+    "select_large_pairs",
     "DirectMeasurementCombiner",
     "reduce_problem",
     "greedy_measurement_selection",

@@ -28,7 +28,12 @@ import numpy as np
 import scipy.optimize
 
 from repro.errors import EstimationError
-from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
+from repro.estimation.base import (
+    EstimationProblem,
+    EstimationResult,
+    Estimator,
+    SeriesEstimationResult,
+)
 from repro.estimation.priors import make_prior
 from repro.estimation.registry import register
 from repro.optimize.ipf import kl_divergence
@@ -139,4 +144,143 @@ class EntropyEstimator(Estimator):
             kl_to_prior=kl_divergence(values[free], prior[free]),
             solver_iterations=int(outcome.nit),
             solver_converged=bool(outcome.success),
+        )
+
+    # ------------------------------------------------------------------
+    # batched series path
+    # ------------------------------------------------------------------
+    def _newton_solve(
+        self,
+        reduced_routing: np.ndarray,
+        snapshot: np.ndarray,
+        reduced_prior: np.ndarray,
+        kl_weight: float,
+        start: np.ndarray,
+        max_iterations: int = 60,
+        gradient_tolerance: float = 1e-10,
+    ) -> tuple[Optional[np.ndarray], int]:
+        """Damped Newton minimisation of the entropy objective.
+
+        The objective is strictly convex on the open positive orthant and
+        its gradient diverges to ``-inf`` at zero, so the minimiser is
+        interior and an unconstrained Newton step with a
+        fraction-to-the-boundary cap plus Armijo backtracking converges to
+        the same point L-BFGS-B finds — typically in under a dozen
+        iterations when started from the previous snapshot's solution.
+        Returns ``(None, iterations)`` when it fails to converge so the
+        caller can fall back to the quasi-Newton path.
+        """
+        gram2 = 2.0 * reduced_routing.T @ reduced_routing
+        linear2 = 2.0 * reduced_routing.T @ snapshot
+
+        def objective(x: np.ndarray) -> float:
+            residual = reduced_routing @ x - snapshot
+            ratio = np.maximum(x, _POSITIVE_FLOOR) / reduced_prior
+            return float(residual @ residual) + kl_weight * float(
+                np.sum(x * np.log(ratio) - x + reduced_prior)
+            )
+
+        x = np.maximum(start, _POSITIVE_FLOOR)
+        value = objective(x)
+        gradient_scale = max(1.0, kl_weight)
+        for iteration in range(1, max_iterations + 1):
+            safe_x = np.maximum(x, _POSITIVE_FLOOR)
+            gradient = gram2 @ x - linear2 + kl_weight * np.log(safe_x / reduced_prior)
+            if float(np.abs(gradient).max(initial=0.0)) <= gradient_tolerance * gradient_scale:
+                return x, iteration
+            hessian = gram2 + np.diag(kl_weight / safe_x)
+            try:
+                step = np.linalg.solve(hessian, -gradient)
+            except np.linalg.LinAlgError:
+                return None, iteration
+            negative = step < 0
+            step_size = 1.0
+            if negative.any():
+                step_size = min(1.0, 0.995 * float(np.min(-x[negative] / step[negative])))
+            directional = float(gradient @ step)
+            if abs(directional) <= 1e-12 * max(1.0, abs(value)):
+                # Newton decrement at the floating-point floor of the
+                # objective: the point is converged even if the raw
+                # gradient cannot cancel below the absolute tolerance.
+                return x, iteration
+            if directional > 0:
+                # A near-singular Hessian solve produced an ascent
+                # direction; hand the snapshot to the exact fallback
+                # rather than accepting uphill steps.
+                return None, iteration
+            accepted = False
+            for _ in range(40):
+                candidate = x + step_size * step
+                candidate_value = objective(candidate)
+                if candidate_value <= value + 1e-4 * step_size * directional:
+                    accepted = True
+                    break
+                step_size *= 0.5
+            if not accepted:
+                # The quadratic model stopped improving; the point is as
+                # converged as floating point allows.
+                return x, iteration
+            x, value = candidate, candidate_value
+        return None, max_iterations
+
+    def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
+        """Per-snapshot estimates, warm-started from the previous snapshot.
+
+        Consecutive snapshots differ little, so each snapshot's solve
+        starts from the previous solution and refines it with damped
+        Newton steps on the same objective ``estimate`` minimises — the
+        unique interior optimum guarantees both solvers agree (up to
+        convergence tolerance), while the warm start plus second-order
+        convergence replaces hundreds of L-BFGS-B iterations with a few.
+        Snapshots where Newton does not converge fall back to the exact
+        per-snapshot path.
+        """
+        series = problem.series
+        estimates = np.empty((series.shape[0], problem.num_pairs))
+        previous: Optional[np.ndarray] = None
+        newton_snapshots = 0
+        fallback_snapshots = 0
+        total_iterations = 0
+        for index in range(series.shape[0]):
+            sub_problem = problem.at_snapshot(index)
+            prior = self._prior_vector(sub_problem)
+            free = prior > 0
+            solution: Optional[np.ndarray] = None
+            if np.any(free):
+                reduced_prior = prior[free]
+                scale = float(prior.sum()) if self.scale_invariant else 1.0
+                kl_weight = (scale if scale > 0 else 1.0) / self.regularization
+                start = reduced_prior if previous is None else np.maximum(
+                    previous[free], _POSITIVE_FLOOR
+                )
+                reduced, iterations = self._newton_solve(
+                    sub_problem.routing.matrix[:, free],
+                    sub_problem.snapshot,
+                    reduced_prior,
+                    kl_weight,
+                    start,
+                )
+                total_iterations += iterations
+                if reduced is not None:
+                    solution = np.zeros(problem.num_pairs)
+                    solution[free] = np.maximum(reduced, 0.0)
+                    newton_snapshots += 1
+            else:
+                solution = np.zeros(problem.num_pairs)
+            if solution is None:
+                solution = self.estimate(sub_problem).vector
+                fallback_snapshots += 1
+            estimates[index] = solution
+            previous = solution
+        return self._series_result(
+            problem,
+            estimates,
+            batched=True,
+            warm_started=True,
+            regularization=self.regularization,
+            newton_snapshots=newton_snapshots,
+            fallback_snapshots=fallback_snapshots,
+            mean_newton_iterations=(
+                total_iterations / max(1, newton_snapshots + fallback_snapshots)
+            ),
         )

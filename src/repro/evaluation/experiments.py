@@ -19,6 +19,14 @@ spec list instead of editing the runner.  :func:`default_method_specs`
 reproduces the paper's Table 2 configuration.  The runners consume the
 scenario's ``snapshot_problem()`` / ``series_problem()`` accessors, so they
 work unchanged on both consistent and measured scenarios.
+
+Every runner takes an ``n_jobs`` parameter: the scenario problems are
+built **once** in the parent process and the independent units of work —
+method specs grouped into dependency waves for :func:`run_method_specs`,
+``(scenario, jitter, loss)`` grid cells for :func:`robustness_sweep` —
+are fanned out over a process pool.  ``n_jobs=1`` (the default) runs the
+exact serial loop; parallel runs return records identical to it, in the
+same order.
 """
 
 from __future__ import annotations
@@ -32,6 +40,8 @@ from repro.datasets.scenarios import Scenario
 from repro.errors import EstimationError
 from repro.estimation.registry import get_estimator
 from repro.evaluation.metrics import mean_relative_error
+from repro.parallel import effective_jobs
+from repro.traffic.matrix import TrafficMatrix
 
 __all__ = [
     "ExperimentRecord",
@@ -175,9 +185,41 @@ def _recorded_parameters(spec: MethodSpec, window: Optional[int]) -> dict[str, f
     return parameters
 
 
+def _spec_window(spec: MethodSpec, scenario: Scenario) -> Optional[int]:
+    if spec.data == "snapshot":
+        return None
+    return min(spec.window or scenario.busy_length, scenario.busy_length)
+
+
+def _evaluate_spec(spec: MethodSpec, problem: Any, prior: Optional[np.ndarray]) -> np.ndarray:
+    """Instantiate and run one spec; module-level so the pool can pickle it."""
+    params = dict(spec.params)
+    if prior is not None:
+        params["prior"] = prior
+    return get_estimator(spec.estimator, **params).estimate(problem).vector
+
+
+#: Worker-side cache of the shared estimation problems, keyed like the
+#: parent's ``resolve_data`` keys; filled once per worker by the pool
+#: initializer so each problem is pickled per worker, not per spec.
+_SPEC_POOL_PROBLEMS: dict = {}
+
+
+def _spec_pool_initializer(problems: dict) -> None:
+    _SPEC_POOL_PROBLEMS.clear()
+    _SPEC_POOL_PROBLEMS.update(problems)
+
+
+def _evaluate_spec_pooled(
+    spec: MethodSpec, problem_key: Any, prior: Optional[np.ndarray]
+) -> np.ndarray:
+    return _evaluate_spec(spec, _SPEC_POOL_PROBLEMS[problem_key], prior)
+
+
 def run_method_specs(
     scenario: Scenario,
     specs: Sequence[MethodSpec],
+    n_jobs: Optional[int] = 1,
 ) -> list[ExperimentRecord]:
     """Run every method spec on ``scenario`` and record its MRE.
 
@@ -185,48 +227,102 @@ def run_method_specs(
     busy-period mean); series specs share one series problem per distinct
     window (truth: that window's mean).  ``prior_from`` references resolve
     against earlier specs in the list.
+
+    With ``n_jobs > 1`` (or ``None`` for all cores) the shared problems are
+    still built exactly once, and the specs are evaluated concurrently in
+    dependency waves: every spec whose ``prior_from`` estimate is already
+    available runs in the current wave, so independent specs never wait on
+    each other.  The records — values and order — are identical to the
+    serial run.
     """
+    labels = [spec.label for spec in specs]
+    prior_source: dict[int, int] = {}
+    for position, spec in enumerate(specs):
+        if spec.prior_from is None:
+            continue
+        earlier = [p for p in range(position) if labels[p] == spec.prior_from]
+        if not earlier:
+            raise EstimationError(
+                f"spec {spec.label!r} references {spec.prior_from!r}, "
+                "which has not run yet"
+            )
+        # The serial loop resolves a label to its most recent earlier run.
+        prior_source[position] = earlier[-1]
+
     snapshot_truth = scenario.busy_mean_matrix()
     snapshot_problem = None
     series_cache: dict[int, tuple[Any, Any]] = {}
-    estimates_by_label: dict[str, np.ndarray] = {}
-    records: list[ExperimentRecord] = []
 
-    for spec in specs:
-        params = dict(spec.params)
-        if spec.prior_from is not None:
-            try:
-                params["prior"] = estimates_by_label[spec.prior_from]
-            except KeyError:
-                raise EstimationError(
-                    f"spec {spec.label!r} references {spec.prior_from!r}, "
-                    "which has not run yet"
-                ) from None
-        estimator = get_estimator(spec.estimator, **params)
-
+    def resolve_data(spec: MethodSpec) -> tuple[Any, Any, Optional[int]]:
+        nonlocal snapshot_problem
         if spec.data == "snapshot":
             if snapshot_problem is None:
                 # The default problem is built from the scenario's busy-period
                 # data (measured scenarios substitute the polled counters);
                 # the truth stays the true busy-period mean either way.
                 snapshot_problem = scenario.snapshot_problem()
-            problem, truth, window = snapshot_problem, snapshot_truth, None
-        else:
-            window = min(spec.window or scenario.busy_length, scenario.busy_length)
-            if window not in series_cache:
-                series_cache[window] = (
-                    scenario.series_problem(window_length=window),
-                    scenario.busy_series().window(0, window).mean_matrix(),
-                )
-            problem, truth = series_cache[window]
+            return snapshot_problem, snapshot_truth, None
+        window = _spec_window(spec, scenario)
+        if window not in series_cache:
+            series_cache[window] = (
+                scenario.series_problem(window_length=window),
+                scenario.busy_series().window(0, window).mean_matrix(),
+            )
+        problem, truth = series_cache[window]
+        return problem, truth, window
 
-        result = estimator.estimate(problem)
-        estimates_by_label[spec.label] = result.vector
+    def problem_key(spec: MethodSpec) -> tuple[str, Optional[int]]:
+        return (spec.data, _spec_window(spec, scenario))
+
+    vectors: dict[int, np.ndarray] = {}
+    jobs = effective_jobs(n_jobs, len(specs), error=EstimationError)
+    if jobs == 1:
+        for position, spec in enumerate(specs):
+            problem, _, _ = resolve_data(spec)
+            prior = vectors[prior_source[position]] if position in prior_source else None
+            vectors[position] = _evaluate_spec(spec, problem, prior)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Each shared problem ships to every worker exactly once (via the
+        # initializer); waves then submit only the spec, a problem key and
+        # the prior vector.
+        shared_problems = {problem_key(spec): resolve_data(spec)[0] for spec in specs}
+        pending = list(range(len(specs)))
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_spec_pool_initializer,
+            initargs=(shared_problems,),
+        ) as pool:
+            while pending:
+                wave = [
+                    position
+                    for position in pending
+                    if prior_source.get(position, -1) in vectors
+                    or position not in prior_source
+                ]
+                futures = {
+                    position: pool.submit(
+                        _evaluate_spec_pooled,
+                        specs[position],
+                        problem_key(specs[position]),
+                        vectors.get(prior_source.get(position)),
+                    )
+                    for position in wave
+                }
+                for position in wave:
+                    vectors[position] = futures[position].result()
+                pending = [position for position in pending if position not in wave]
+
+    records: list[ExperimentRecord] = []
+    for position, spec in enumerate(specs):
+        problem, truth, window = resolve_data(spec)
+        estimate = TrafficMatrix(problem.pairs, vectors[position])
         records.append(
             ExperimentRecord(
                 scenario=scenario.name,
                 method=spec.label,
-                mre=mean_relative_error(result.estimate, truth),
+                mre=mean_relative_error(estimate, truth),
                 parameters=_recorded_parameters(spec, window),
             )
         )
@@ -237,6 +333,7 @@ def vardi_table(
     scenario: Scenario,
     poisson_weights: Sequence[float] = (0.01, 1.0),
     window_length: int = 50,
+    n_jobs: Optional[int] = 1,
 ) -> list[ExperimentRecord]:
     """Table 1: Vardi MRE for the given ``sigma^{-2}`` values on a K-sample window."""
     window_length = min(window_length, scenario.busy_length)
@@ -250,7 +347,7 @@ def vardi_table(
         )
         for weight in poisson_weights
     ]
-    return run_method_specs(scenario, specs)
+    return run_method_specs(scenario, specs, n_jobs=n_jobs)
 
 
 def method_comparison(
@@ -261,12 +358,14 @@ def method_comparison(
     vardi_window: int = 50,
     include_vardi: bool = True,
     specs: Optional[Sequence[MethodSpec]] = None,
+    n_jobs: Optional[int] = 1,
 ) -> list[ExperimentRecord]:
     """Table 2: best-effort MRE of every method on one scenario.
 
     With the default ``specs`` this reproduces the paper's Table 2 (see
     :func:`default_method_specs`); custom spec lists run any registered
-    method mix without touching this runner.
+    method mix without touching this runner.  ``n_jobs`` fans the specs out
+    over a process pool (see :func:`run_method_specs`).
     """
     if specs is None:
         specs = default_method_specs(
@@ -276,7 +375,7 @@ def method_comparison(
             vardi_window=min(vardi_window, scenario.busy_length),
             include_vardi=include_vardi,
         )
-    return run_method_specs(scenario, specs)
+    return run_method_specs(scenario, specs, n_jobs=n_jobs)
 
 
 def summary_table(records: Sequence[ExperimentRecord]) -> dict[str, dict[str, float]]:
@@ -321,6 +420,44 @@ class RobustnessRecord:
         return bool(self.error)
 
 
+def _robustness_cell(
+    scenario: Scenario,
+    jitter: float,
+    loss: float,
+    methods: Optional[Sequence[Union[str, tuple[str, Mapping]]]],
+    window_length: Optional[int],
+    num_pollers: int,
+    seed: Optional[int],
+    skip_errors: bool,
+) -> list[RobustnessRecord]:
+    """One ``(scenario, jitter, loss)`` grid cell, as its own unit of work.
+
+    Module-level so a process pool can pickle it; the serial loop calls it
+    directly, which is what makes parallel and serial runs byte-identical.
+    """
+    measured = scenario.measured(
+        jitter_std_seconds=float(jitter),
+        loss_probability=float(loss),
+        num_pollers=num_pollers,
+        seed=seed,
+    )
+    return [
+        RobustnessRecord(
+            scenario=scenario.name,
+            method=sweep_record.method,
+            jitter_std_seconds=float(jitter),
+            loss_probability=float(loss),
+            mre=sweep_record.mre,
+            error=sweep_record.error,
+        )
+        for sweep_record in measured.sweep(
+            methods=methods,
+            window_length=window_length,
+            skip_errors=skip_errors,
+        )
+    ]
+
+
 def robustness_sweep(
     scenarios: Union[Scenario, Sequence[Scenario]],
     jitter_values: Sequence[float] = (0.0, 2.0, 10.0),
@@ -330,6 +467,7 @@ def robustness_sweep(
     num_pollers: int = 3,
     seed: Optional[int] = 0,
     skip_errors: bool = True,
+    n_jobs: Optional[int] = 1,
 ) -> list[RobustnessRecord]:
     """Score estimation methods on measured data across noise levels.
 
@@ -354,35 +492,44 @@ def robustness_sweep(
     num_pollers, seed:
         Forwarded to the collection pipeline; the same seed is reused at
         every noise level so that grid cells differ only in the noise knobs.
+    n_jobs:
+        Worker processes for the grid cells (``1`` = the serial loop,
+        ``None`` = all cores).  Every cell is independent — same seed, own
+        collection run — so the parallel records are identical to the
+        serial ones, in the same grid order.
     """
     if isinstance(scenarios, Scenario):
         scenarios = [scenarios]
-    records: list[RobustnessRecord] = []
-    for scenario in scenarios:
-        for jitter in jitter_values:
-            for loss in loss_values:
-                measured = scenario.measured(
-                    jitter_std_seconds=float(jitter),
-                    loss_probability=float(loss),
-                    num_pollers=num_pollers,
-                    seed=seed,
+    cells = [
+        (scenario, float(jitter), float(loss))
+        for scenario in scenarios
+        for jitter in jitter_values
+        for loss in loss_values
+    ]
+    jobs = effective_jobs(n_jobs, len(cells), error=EstimationError)
+    if jobs == 1:
+        cell_records = [
+            _robustness_cell(
+                scenario, jitter, loss, methods, window_length, num_pollers, seed, skip_errors
+            )
+            for scenario, jitter, loss in cells
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            cell_records = list(
+                pool.map(
+                    _robustness_cell,
+                    *zip(*cells),
+                    [methods] * len(cells),
+                    [window_length] * len(cells),
+                    [num_pollers] * len(cells),
+                    [seed] * len(cells),
+                    [skip_errors] * len(cells),
                 )
-                for sweep_record in measured.sweep(
-                    methods=methods,
-                    window_length=window_length,
-                    skip_errors=skip_errors,
-                ):
-                    records.append(
-                        RobustnessRecord(
-                            scenario=scenario.name,
-                            method=sweep_record.method,
-                            jitter_std_seconds=float(jitter),
-                            loss_probability=float(loss),
-                            mre=sweep_record.mre,
-                            error=sweep_record.error,
-                        )
-                    )
-    return records
+            )
+    return [record for cell in cell_records for record in cell]
 
 
 def robustness_table(

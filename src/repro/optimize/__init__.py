@@ -18,7 +18,14 @@ from repro.optimize.ipf import (
     kl_divergence,
     kruithof_scaling,
 )
-from repro.optimize.linear_program import LPResult, bound_variable, solve_linear_program
+from repro.optimize.linear_program import (
+    BatchBoundsResult,
+    LPResult,
+    bound_variable,
+    bound_variables_batch,
+    presolve_variable_bounds,
+    solve_linear_program,
+)
 from repro.optimize.nnls import NNLSResult, nnls, nnls_active_set, nnls_projected_gradient
 from repro.optimize.qp import (
     ConstrainedLSResult,
@@ -26,6 +33,7 @@ from repro.optimize.qp import (
     constrained_nnls,
     equality_constrained_least_squares,
     nonnegative_quadratic_program,
+    symmetric_spectral_norm,
 )
 
 __all__ = [
@@ -38,9 +46,13 @@ __all__ = [
     "constrained_nnls",
     "QPResult",
     "nonnegative_quadratic_program",
+    "symmetric_spectral_norm",
     "LPResult",
+    "BatchBoundsResult",
     "solve_linear_program",
     "bound_variable",
+    "bound_variables_batch",
+    "presolve_variable_bounds",
     "IPFResult",
     "kruithof_scaling",
     "generalized_iterative_scaling",

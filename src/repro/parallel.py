@@ -1,0 +1,31 @@
+"""Shared helpers for the process-pool execution layers.
+
+Both parallel engines — the LP bounds batch
+(:mod:`repro.optimize.linear_program`) and the experiment runners
+(:mod:`repro.evaluation.experiments`) — resolve their ``n_jobs`` parameter
+with the same policy, kept here so the two cannot drift: ``None`` means
+every core, the count is clamped to the number of independent tasks, and
+anything below 1 is an error (raised as the caller's own exception type).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Type
+
+__all__ = ["effective_jobs"]
+
+
+def effective_jobs(
+    n_jobs: Optional[int],
+    num_tasks: int,
+    error: Type[Exception] = ValueError,
+) -> int:
+    """Worker-process count for ``num_tasks`` independent units of work."""
+    if num_tasks <= 1:
+        return 1
+    if n_jobs is None:
+        n_jobs = os.cpu_count() or 1
+    if n_jobs < 1:
+        raise error("n_jobs must be at least 1 (or None for auto)")
+    return min(int(n_jobs), num_tasks)

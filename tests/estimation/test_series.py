@@ -52,11 +52,21 @@ class TestBatchedOverridesMatchLoop:
         np.testing.assert_allclose(batched.estimates, loop, atol=1e-6 * scale)
 
     def test_generic_fallback_matches_loop_by_construction(self, series_problem):
-        estimator = get_estimator("entropy", regularization=100.0)
+        estimator = get_estimator("kl-projection")
         batched = estimator.estimate_series(series_problem)
         loop = per_snapshot_loop(estimator, series_problem)
         np.testing.assert_allclose(batched.estimates, loop, atol=1e-9)
         assert batched.diagnostics["batched"] is False
+
+    def test_entropy_warm_started_series_matches_loop(self, series_problem):
+        estimator = get_estimator("entropy", regularization=100.0)
+        batched = estimator.estimate_series(series_problem)
+        loop = per_snapshot_loop(estimator, series_problem)
+        scale = max(float(loop.max()), 1.0)
+        np.testing.assert_allclose(batched.estimates, loop, atol=1e-4 * scale)
+        assert batched.diagnostics["batched"] is True
+        assert batched.diagnostics["warm_started"] is True
+        assert batched.diagnostics["fallback_snapshots"] == 0
 
     def test_bayesian_explicit_prior_batches(self, series_problem):
         prior = np.full(series_problem.num_pairs, 10.0)
@@ -74,6 +84,24 @@ class TestWindowLevelMethods:
         assert len(batched) == WINDOW
         for index in range(WINDOW):
             np.testing.assert_allclose(batched.estimates[index], single)
+
+    def test_vardi_warm_start_reduces_iterations(self, series_problem):
+        cold = get_estimator("vardi", poisson_weight=0.01)
+        cold_result = cold.estimate(series_problem)
+        warm = get_estimator("vardi", poisson_weight=0.01)
+        warm.set_warm_start(cold_result.vector)
+        warm_result = warm.estimate(series_problem)
+        assert (
+            warm_result.diagnostics["solver_iterations"]
+            < cold_result.diagnostics["solver_iterations"]
+        )
+        scale = max(1.0, float(cold_result.vector.max()))
+        np.testing.assert_allclose(
+            warm_result.vector, cold_result.vector, atol=1e-3 * scale
+        )
+        # The warm start is one-shot: the next call is cold again and
+        # reproduces the cold result exactly.
+        np.testing.assert_allclose(warm.estimate(series_problem).vector, cold_result.vector)
 
     def test_fanout_batch_scales_by_snapshot_ingress(self, series_problem):
         estimator = get_estimator("fanout")

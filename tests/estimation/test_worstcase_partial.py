@@ -16,6 +16,7 @@ from repro.estimation import (
     greedy_measurement_selection,
     largest_demand_selection,
     reduce_problem,
+    select_large_pairs,
     worst_case_bounds,
 )
 from repro.evaluation import mean_relative_error
@@ -94,6 +95,83 @@ class TestWorstCaseBounds:
         truth, problem = line_setup
         result = WorstCaseBoundsEstimator().estimate(problem)
         assert mean_relative_error(result.estimate, truth) < 1.0
+
+    def test_parallel_bounds_match_serial(self, line_setup):
+        truth, problem = line_setup
+        serial = worst_case_bounds(problem, n_jobs=1)
+        parallel = worst_case_bounds(problem, n_jobs=2)
+        assert [b.pair for b in serial] == [b.pair for b in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.lower == pytest.approx(b.lower, abs=1e-8)
+            assert a.upper == pytest.approx(b.upper, abs=1e-8)
+
+
+class TestUnboundedPairFallback:
+    def test_unselected_pairs_get_even_residual_split(self, line_setup):
+        truth, problem = line_setup
+        subset = [NodePair("A", "D"), NodePair("B", "D")]
+        result = WorstCaseBoundsEstimator(pairs=subset).estimate(problem)
+        bounded = {problem.pairs.index(pair) for pair in subset}
+        unbounded = [idx for idx in range(problem.num_pairs) if idx not in bounded]
+        assert result.diagnostics["num_fallback"] == len(unbounded)
+        share = result.diagnostics["fallback_share"]
+        assert share > 0
+        for idx in unbounded:
+            assert result.vector[idx] == pytest.approx(share)
+            # No bound was computed for the fallback pairs.
+            assert result.diagnostics["lower_bounds"][idx] == 0.0
+            assert np.isnan(result.diagnostics["upper_bounds"][idx])
+
+    def test_fallback_share_is_residual_over_unbounded(self, line_setup):
+        truth, problem = line_setup
+        subset = [NodePair("A", "D")]
+        result = WorstCaseBoundsEstimator(pairs=subset).estimate(problem)
+        midpoint_total = sum(
+            result.vector[problem.pairs.index(pair)] for pair in subset
+        )
+        residual = max(0.0, problem.total_traffic() - midpoint_total)
+        expected = residual / (problem.num_pairs - len(subset))
+        assert result.diagnostics["fallback_share"] == pytest.approx(expected)
+
+    def test_full_selection_has_no_fallback(self, line_setup):
+        truth, problem = line_setup
+        result = WorstCaseBoundsEstimator().estimate(problem)
+        assert result.diagnostics["num_fallback"] == 0
+        assert result.diagnostics["fallback_share"] == 0.0
+
+
+class TestLargeDemandSelection:
+    def test_select_large_pairs_defaults_to_all(self, line_setup):
+        truth, problem = line_setup
+        assert select_large_pairs(problem) == list(problem.pairs)
+
+    def test_max_pairs_truncates_by_combinatorial_cap(self, line_setup):
+        truth, problem = line_setup
+        selected = select_large_pairs(problem, max_pairs=3)
+        assert len(selected) == 3
+        # The selected pairs must include the largest demand (A->D, 40.0).
+        assert NodePair("A", "D") in selected
+
+    def test_top_fraction(self, line_setup):
+        truth, problem = line_setup
+        selected = select_large_pairs(problem, top_fraction=0.5)
+        assert len(selected) == max(1, round(0.5 * problem.num_pairs))
+
+    def test_estimator_subset_selection_runs(self, line_setup):
+        truth, problem = line_setup
+        result = WorstCaseBoundsEstimator(max_pairs=3).estimate(problem)
+        assert result.diagnostics["num_bounded"] == 3
+        assert result.diagnostics["num_fallback"] == problem.num_pairs - 3
+        # Point estimate stays sane with the subset + fallback combination.
+        assert mean_relative_error(result.estimate, truth) < 2.0
+
+    def test_invalid_selection_parameters(self, line_setup):
+        with pytest.raises(EstimationError):
+            WorstCaseBoundsEstimator(max_pairs=0)
+        with pytest.raises(EstimationError):
+            WorstCaseBoundsEstimator(top_fraction=0.0)
+        with pytest.raises(EstimationError):
+            WorstCaseBoundsEstimator(top_fraction=1.5)
 
 
 class TestReduceProblem:

@@ -10,6 +10,7 @@ from repro.optimize import (
     constrained_nnls,
     equality_constrained_least_squares,
     nonnegative_quadratic_program,
+    symmetric_spectral_norm,
 )
 
 
@@ -103,3 +104,41 @@ class TestNonnegativeQP:
             nonnegative_quadratic_program(np.eye(2), np.ones(2), max_iterations=0)
         with pytest.raises(SolverError):
             nonnegative_quadratic_program(np.eye(2), np.ones(2), x0=np.ones(3))
+
+    def test_warm_start_converges_faster_to_the_same_point(self):
+        rng = np.random.default_rng(9)
+        A = rng.random((30, 20))
+        G = A.T @ A + 0.1 * np.eye(20)
+        h = G @ (np.abs(rng.normal(size=20)) + 0.1)
+        cold = nonnegative_quadratic_program(G, h, tolerance=1e-14)
+        warm = nonnegative_quadratic_program(G, h, x0=cold.x, tolerance=1e-14)
+        assert warm.iterations < cold.iterations
+        assert np.allclose(warm.x, cold.x, atol=1e-3)
+
+
+class TestSymmetricSpectralNorm:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_exact_norm_on_gram_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.random((25, 15))
+        G = A.T @ A
+        exact = float(np.linalg.norm(G, 2))
+        estimate = symmetric_spectral_norm(G)
+        # Never an underestimate (the safety factor guarantees valid step
+        # sizes), and tight to about the safety factor.
+        assert estimate >= exact * (1 - 1e-6)
+        assert estimate <= exact * 1.05
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        A = rng.random((10, 10))
+        G = A.T @ A
+        assert symmetric_spectral_norm(G) == symmetric_spectral_norm(G)
+
+    def test_zero_and_empty_matrices(self):
+        assert symmetric_spectral_norm(np.zeros((4, 4))) == 0.0
+        assert symmetric_spectral_norm(np.zeros((0, 0))) == 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SolverError):
+            symmetric_spectral_norm(np.ones((2, 3)))

@@ -24,15 +24,17 @@ Run directly (CI uses a relaxed threshold for slower shared runners)::
 
 from __future__ import annotations
 
-import json
 import math
 import os
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from benchrecord import REPO_ROOT, merge_record
+
 RECORD_PATH = REPO_ROOT / "BENCH_PR3.json"
 
 JITTER_VALUES = (0.0, 2.0, 10.0)
@@ -53,18 +55,6 @@ SEED = 0
 #: Methods that had no batched ``estimate_series`` before this engine and
 #: therefore ran through the generic cold-start per-snapshot loop.
 LEGACY_GENERIC = {"entropy", "tomogravity"}
-
-
-def merge_record(key: str, payload: dict) -> None:
-    """Insert ``payload`` under ``key`` in BENCH_PR3.json, keeping other keys."""
-    record = {}
-    if RECORD_PATH.exists():
-        try:
-            record = json.loads(RECORD_PATH.read_text())
-        except json.JSONDecodeError:
-            record = {}
-    record[key] = payload
-    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def legacy_generic_series(estimator, problem):
@@ -186,7 +176,7 @@ def main() -> dict:
         "max_relative_mre_drift_vs_legacy": mre_drift,
         "cpu_count": os.cpu_count(),
     }
-    merge_record("experiment_engine", payload)
+    merge_record(RECORD_PATH, "experiment_engine", payload)
 
     print(
         f"[experiment engine] legacy {legacy_seconds:6.2f}s  "

@@ -24,27 +24,17 @@ Run directly (CI uses a relaxed threshold for slower shared runners)::
 
 from __future__ import annotations
 
-import json
 import os
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from benchrecord import REPO_ROOT, merge_record
+
 RECORD_PATH = REPO_ROOT / "BENCH_PR3.json"
-
-
-def merge_record(key: str, payload: dict) -> None:
-    """Insert ``payload`` under ``key`` in BENCH_PR3.json, keeping other keys."""
-    record = {}
-    if RECORD_PATH.exists():
-        try:
-            record = json.loads(RECORD_PATH.read_text())
-        except json.JSONDecodeError:
-            record = {}
-    record[key] = payload
-    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def serial_reference_bounds(matrix, rhs, num_pairs):
@@ -105,7 +95,7 @@ def main() -> dict:
         "max_relative_upper_difference": upper_difference,
         "cpu_count": os.cpu_count(),
     }
-    merge_record("worstcase_bounds", payload)
+    merge_record(RECORD_PATH, "worstcase_bounds", payload)
 
     print(
         f"[worstcase bounds] serial {serial_seconds:6.2f}s  "

@@ -1,0 +1,31 @@
+"""Shared helper for the acceptance-benchmark record files.
+
+The acceptance benchmarks (``bench_worstcase_bounds.py``,
+``bench_experiment_engine.py``, ``bench_failure_sweep.py``) each append a
+payload under their own key to a ``BENCH_PR<n>.json`` record at the
+repository root; CI uploads the records as artifacts.  This module keeps
+the merge logic in one place so record handling cannot drift between
+benchmarks: existing keys written by other benchmarks are preserved, and a
+corrupt record file is replaced rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["REPO_ROOT", "merge_record"]
+
+
+def merge_record(record_path: Path, key: str, payload: dict) -> None:
+    """Insert ``payload`` under ``key`` in ``record_path``, keeping other keys."""
+    record = {}
+    if record_path.exists():
+        try:
+            record = json.loads(record_path.read_text())
+        except json.JSONDecodeError:
+            record = {}
+    record[key] = payload
+    record_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,77 @@
+"""Failure planning: score every estimation method by induced planning error.
+
+A full single-link failure sweep of the Europe-like scenario, the planning
+study the paper's motivation section describes: for every registered method
+the sweep estimates the traffic matrix once, pushes the truth and the
+estimate through each failure's surviving topology (incremental CSPF
+reroute), and compares the utilisation numbers an operator would plan with.
+
+The printed table is the planning analogue of the paper's Table 2: instead
+of MRE it reports, per method, the worst-case utilisation forecast across
+all failures and the utilisation errors that drive it.
+
+Run with::
+
+    python examples/failure_planning.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.datasets import europe_scenario
+from repro.planning import failure_sweep, planning_summary_table, utilisation_error_profile
+
+
+def main() -> None:
+    print("Building the Europe-like scenario...")
+    scenario = europe_scenario()
+    print(
+        f"Sweeping all {scenario.network.num_links} single-link failures "
+        "(plus the intact baseline) for every Table 2 method..."
+    )
+    records = failure_sweep(scenario, n_jobs=None)
+    table = planning_summary_table(records)
+
+    print(
+        f"\n{'method':26s} {'true worst':>10s} {'predicted':>10s} "
+        f"{'mean err':>9s} {'worst err':>9s} {'recall':>7s}"
+    )
+    for method, summary in table.items():
+        if "true_worst_case_utilisation" not in summary:
+            print(f"{method:26s} skipped on every case")
+            continue
+        recall = summary["congestion_recall"]
+        recall_text = f"{recall:7.0%}" if not math.isnan(recall) else f"{'n/a':>7s}"
+        print(
+            f"{method:26s} "
+            f"{summary['true_worst_case_utilisation']:10.1%} "
+            f"{summary['predicted_worst_case_utilisation']:10.1%} "
+            f"{summary['mean_max_utilisation_error']:9.2%} "
+            f"{summary['worst_max_utilisation_error']:9.2%} "
+            f"{recall_text}"
+        )
+
+    profile = utilisation_error_profile(records)
+    if not profile:
+        print("\nNo method produced scoreable records; nothing to profile.")
+        return
+    method = max(
+        profile, key=lambda m: profile[m]["max_utilisation_error"].max(initial=0.0)
+    )
+    series = profile[method]
+    miss = series["max_utilisation_error"].argmax()
+    print(
+        f"\nLargest single planning miss: {method} on {series['case'][miss]!s} "
+        f"(true {series['true_max_utilisation'][miss]:.1%}, "
+        f"predicted {series['predicted_max_utilisation'][miss]:.1%})."
+    )
+    print(
+        "Interpretation: a method can have a mediocre MRE yet still rank the "
+        "binding failures correctly — and vice versa; this sweep measures the "
+        "error that actually reaches the planning decision."
+    )
+
+
+if __name__ == "__main__":
+    main()

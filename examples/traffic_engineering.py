@@ -3,13 +3,13 @@
 The paper motivates traffic-matrix estimation with traffic-engineering tasks
 such as load balancing and failure analysis, and its MRE metric focuses on
 the large demands because those drive link utilisations.  This example makes
-that connection concrete:
+that connection concrete using the :mod:`repro.planning` subsystem:
 
 1. estimate the Europe-like traffic matrix from link loads (tomogravity,
    gravity prior);
-2. simulate a link failure and re-route both the *true* and the *estimated*
-   matrix over the surviving topology;
-3. compare the post-failure link utilisations predicted from the estimate
+2. find the binding failure — the single-link case with the highest
+   re-routed utilisation — with the what-if engine;
+3. compare the post-failure link utilisations predicted from the estimates
    against the ones the true matrix produces, and report how far off the
    estimate-driven planning decision would be;
 4. repeat with the worst-case-bound prior to show how a better prior
@@ -27,23 +27,12 @@ import numpy as np
 from repro.datasets import europe_scenario
 from repro.estimation import BayesianEstimator, EntropyEstimator, worst_case_bound_prior
 from repro.evaluation import mean_relative_error
-from repro.routing import build_routing_matrix
-from repro.traffic import TrafficMatrix
-
-
-def utilisations(network, routing, matrix: TrafficMatrix) -> dict[str, float]:
-    """Per-link utilisation (load / capacity) for a traffic matrix."""
-    loads = routing.link_loads(matrix.vector)
-    return {
-        name: load / network.link(name).capacity_mbps
-        for name, load in zip(routing.link_names, loads)
-    }
+from repro.planning import FailureCase
 
 
 def main() -> None:
     print("Building the Europe-like scenario and estimating its traffic matrix...")
     scenario = europe_scenario()
-    network = scenario.network
     truth = scenario.busy_mean_matrix()
     problem = scenario.snapshot_problem(truth)
 
@@ -57,49 +46,51 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Failure analysis: take down the most utilised link pair and re-route.
     # ------------------------------------------------------------------
-    base_util = utilisations(network, scenario.routing, truth)
-    busiest_link = max(base_util, key=base_util.get)
-    failed = {busiest_link, f"{busiest_link.split('->')[1]}->{busiest_link.split('->')[0]}"}
-    print(f"\nSimulating failure of {sorted(failed)} "
-          f"(pre-failure utilisation {base_util[busiest_link]:.0%})...")
+    engine = scenario.planning()
+    base = engine.project(truth)
+    busiest_link, base_util = base.top_links(1)[0]
+    reverse = "->".join(reversed(busiest_link.split("->")))
+    case = FailureCase(
+        name=f"link-pair:{busiest_link}",
+        kind="link-pair",
+        failed_links=(busiest_link, reverse),
+    )
+    print(
+        f"\nSimulating failure of {sorted(case.failed_links)} "
+        f"(pre-failure utilisation {base_util:.0%})..."
+    )
 
-    degraded = type(network)("europe-degraded")
-    for node in network.nodes:
-        degraded.add_node(node)
-    for link in network.links:
-        if link.name not in failed:
-            degraded.add_link(link)
-    degraded.validate()
-    degraded_routing = build_routing_matrix(degraded)
-
-    def align(matrix: TrafficMatrix) -> TrafficMatrix:
-        return TrafficMatrix(degraded_routing.pairs, [matrix.demand(p) for p in degraded_routing.pairs])
-
-    true_util = utilisations(degraded, degraded_routing, align(truth))
-    estimated_util = utilisations(degraded, degraded_routing, align(tomogravity.estimate))
-    wcb_util = utilisations(degraded, degraded_routing, align(bayes_wcb.estimate))
+    true_proj = engine.project(truth, case)
+    estimated_proj = engine.project(tomogravity.estimate, case)
+    wcb_proj = engine.project(bayes_wcb.estimate, case)
 
     print("\nTen most loaded links after the failure (true vs. predicted utilisation):")
     print(f"{'link':16s} {'true':>8s} {'tomogravity':>12s} {'bayes+WCB':>10s}")
-    worst = sorted(true_util, key=true_util.get, reverse=True)[:10]
+    worst = [name for name, _ in true_proj.top_links(10)]
     for name in worst:
         print(
-            f"{name:16s} {true_util[name]:8.1%} {estimated_util[name]:12.1%} "
-            f"{wcb_util[name]:10.1%}"
+            f"{name:16s} {true_proj.utilisation_of(name):8.1%} "
+            f"{estimated_proj.utilisation_of(name):12.1%} "
+            f"{wcb_proj.utilisation_of(name):10.1%}"
         )
 
-    def forecast_error(predicted: dict[str, float]) -> float:
+    def forecast_error(predicted) -> float:
         return float(
-            np.mean([abs(predicted[name] - true_util[name]) for name in worst])
+            np.mean(
+                [
+                    abs(predicted.utilisation_of(name) - true_proj.utilisation_of(name))
+                    for name in worst
+                ]
+            )
         )
 
     print(
         f"\nMean absolute utilisation-forecast error on those links: "
-        f"tomogravity {forecast_error(estimated_util):.1%}, "
-        f"Bayes+WCB {forecast_error(wcb_util):.1%}"
+        f"tomogravity {forecast_error(estimated_proj):.1%}, "
+        f"Bayes+WCB {forecast_error(wcb_proj):.1%}"
     )
-    hot = [name for name in worst if true_util[name] > 0.8]
-    caught = [name for name in hot if estimated_util[name] > 0.8]
+    hot = [name for name in worst if true_proj.utilisation_of(name) > 0.8]
+    caught = [name for name in hot if estimated_proj.utilisation_of(name) > 0.8]
     if hot:
         print(
             f"Links that exceed 80% utilisation after the failure: {len(hot)}; "
@@ -108,6 +99,16 @@ def main() -> None:
         )
     else:
         print("No link exceeds 80% utilisation after this failure on the synthetic data.")
+
+    # ------------------------------------------------------------------
+    # Capacity planning: how much growth until the worst failure congests?
+    # ------------------------------------------------------------------
+    worst_case = engine.worst_case(truth, feasible_only=True)
+    print(
+        f"\nBinding single-link failure: {worst_case.case.name} at "
+        f"{worst_case.max_utilisation:.1%} max utilisation "
+        f"(headroom: traffic can grow {worst_case.headroom:.2f}x before saturation)."
+    )
 
 
 if __name__ == "__main__":

@@ -15,7 +15,10 @@ Data" (ACM IMC 2004).  The library provides:
   measurements (:mod:`repro.estimation`);
 * the evaluation framework (MRE metric, figure/table generators)
   (:mod:`repro.evaluation`) and reference scenarios
-  (:mod:`repro.datasets`).
+  (:mod:`repro.datasets`);
+* a traffic-engineering planning subsystem — failure what-ifs with
+  incremental reroute, load projection, and method-comparison failure
+  sweeps (:mod:`repro.planning`).
 
 Quickstart::
 
@@ -32,6 +35,7 @@ Quickstart::
 from repro.errors import (
     EstimationError,
     MeasurementError,
+    PlanningError,
     ReproError,
     RoutingError,
     SolverError,
@@ -49,5 +53,6 @@ __all__ = [
     "TrafficError",
     "MeasurementError",
     "EstimationError",
+    "PlanningError",
     "SolverError",
 ]

@@ -249,6 +249,27 @@ class Scenario:
         )
 
     # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def planning(self, utilisation_threshold: float = 0.9) -> "WhatIfEngine":
+        """A :class:`~repro.planning.whatif.WhatIfEngine` over this network.
+
+        The engine routes the mesh once and answers failure what-ifs
+        incrementally; project the scenario's true busy-period mean, any
+        estimate, or a grown matrix through its failure cases::
+
+            engine = scenario.planning()
+            worst = engine.worst_case(scenario.busy_mean_matrix())
+
+        Method-level planning comparisons live in
+        :func:`repro.planning.sweep.failure_sweep`, which consumes the
+        scenario directly.
+        """
+        from repro.planning.whatif import WhatIfEngine
+
+        return WhatIfEngine(self.network, utilisation_threshold=utilisation_threshold)
+
+    # ------------------------------------------------------------------
     # method sweeps
     # ------------------------------------------------------------------
     def sweep(

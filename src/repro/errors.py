@@ -59,6 +59,16 @@ class EstimationError(ReproError):
     """
 
 
+class PlanningError(ReproError):
+    """Raised when a traffic-engineering planning query is invalid.
+
+    Examples include failure cases referencing unknown links or nodes, a
+    load projection whose traffic matrix does not match the routing matrix's
+    pair ordering, or a failure sweep asked to score a method that produced
+    no estimate.
+    """
+
+
 class SolverError(ReproError):
     """Raised by the numerical substrate when an optimisation problem fails.
 

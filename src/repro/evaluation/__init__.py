@@ -13,7 +13,9 @@ from repro.evaluation.experiments import (
     ExperimentRecord,
     MethodSpec,
     RobustnessRecord,
+    SpecEstimate,
     default_method_specs,
+    estimate_method_specs,
     method_comparison,
     robustness_sweep,
     robustness_table,
@@ -37,7 +39,9 @@ __all__ = [
     "top_demand_threshold",
     "ExperimentRecord",
     "MethodSpec",
+    "SpecEstimate",
     "default_method_specs",
+    "estimate_method_specs",
     "run_method_specs",
     "vardi_table",
     "method_comparison",

@@ -37,7 +37,7 @@ from typing import Any, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.datasets.scenarios import Scenario
-from repro.errors import EstimationError
+from repro.errors import EstimationError, SolverError
 from repro.estimation.registry import get_estimator
 from repro.evaluation.metrics import mean_relative_error
 from repro.parallel import effective_jobs
@@ -46,7 +46,9 @@ from repro.traffic.matrix import TrafficMatrix
 __all__ = [
     "ExperimentRecord",
     "MethodSpec",
+    "SpecEstimate",
     "default_method_specs",
+    "estimate_method_specs",
     "run_method_specs",
     "vardi_table",
     "method_comparison",
@@ -191,12 +193,43 @@ def _spec_window(spec: MethodSpec, scenario: Scenario) -> Optional[int]:
     return min(spec.window or scenario.busy_length, scenario.busy_length)
 
 
-def _evaluate_spec(spec: MethodSpec, problem: Any, prior: Optional[np.ndarray]) -> np.ndarray:
-    """Instantiate and run one spec; module-level so the pool can pickle it."""
+def _build_estimator(spec: MethodSpec, prior: Optional[np.ndarray]):
+    """Construct a spec's estimator, injecting the resolved prior (if any)."""
     params = dict(spec.params)
     if prior is not None:
         params["prior"] = prior
-    return get_estimator(spec.estimator, **params).estimate(problem).vector
+    return get_estimator(spec.estimator, **params)
+
+
+def _evaluate_spec(spec: MethodSpec, problem: Any, prior: Optional[np.ndarray]) -> np.ndarray:
+    """Instantiate and run one spec; module-level so the pool can pickle it."""
+    return _build_estimator(spec, prior).estimate(problem).vector
+
+
+def _evaluate_spec_guarded(
+    spec: MethodSpec, problem: Any, prior: Optional[np.ndarray], skip_errors: bool
+) -> tuple[Optional[np.ndarray], str]:
+    """One spec evaluation as a ``(vector, error)`` pair.
+
+    With ``skip_errors`` an estimation or solver failure becomes a
+    ``(None, message)`` result instead of propagating, so sweeps can record
+    the method as skipped; without it the exception passes through
+    unchanged (the historical contract of :func:`run_method_specs`).  A
+    ``TypeError`` is only absorbed at construction time (params that do not
+    fit the estimator's signature, the same rule ``Scenario.sweep``
+    applies); one raised *during* estimation is a bug and always
+    propagates.
+    """
+    if not skip_errors:
+        return _evaluate_spec(spec, problem, prior), ""
+    try:
+        estimator = _build_estimator(spec, prior)
+    except (EstimationError, TypeError) as exc:
+        return None, str(exc)
+    try:
+        return estimator.estimate(problem).vector, ""
+    except (EstimationError, SolverError) as exc:
+        return None, str(exc)
 
 
 #: Worker-side cache of the shared estimation problems, keyed like the
@@ -211,29 +244,71 @@ def _spec_pool_initializer(problems: dict) -> None:
 
 
 def _evaluate_spec_pooled(
-    spec: MethodSpec, problem_key: Any, prior: Optional[np.ndarray]
-) -> np.ndarray:
-    return _evaluate_spec(spec, _SPEC_POOL_PROBLEMS[problem_key], prior)
+    spec: MethodSpec, problem_key: Any, prior: Optional[np.ndarray], skip_errors: bool
+) -> tuple[Optional[np.ndarray], str]:
+    return _evaluate_spec_guarded(spec, _SPEC_POOL_PROBLEMS[problem_key], prior, skip_errors)
 
 
-def run_method_specs(
+@dataclass(frozen=True)
+class SpecEstimate:
+    """Estimate of one method spec together with the truth it is scored against.
+
+    Attributes
+    ----------
+    spec:
+        The evaluated :class:`MethodSpec`.
+    estimate:
+        The estimated traffic matrix, or ``None`` when the spec was skipped.
+    truth:
+        The ground truth matching the spec's data kind (busy-period mean for
+        snapshot specs, window mean for series specs).
+    window:
+        Effective series window, ``None`` for snapshot specs.
+    error:
+        Why the spec was skipped (empty when it ran).
+    """
+
+    spec: MethodSpec
+    estimate: Optional[TrafficMatrix]
+    truth: TrafficMatrix
+    window: Optional[int]
+    error: str = ""
+
+    @property
+    def label(self) -> str:
+        """Row label of the spec."""
+        return self.spec.label
+
+    @property
+    def skipped(self) -> bool:
+        """Whether the spec could not run."""
+        return self.estimate is None
+
+
+def estimate_method_specs(
     scenario: Scenario,
     specs: Sequence[MethodSpec],
     n_jobs: Optional[int] = 1,
-) -> list[ExperimentRecord]:
-    """Run every method spec on ``scenario`` and record its MRE.
+    skip_errors: bool = False,
+) -> list[SpecEstimate]:
+    """Evaluate method specs into estimate matrices (the shared spec engine).
 
-    Snapshot specs share one consistent snapshot problem (truth: the
-    busy-period mean); series specs share one series problem per distinct
-    window (truth: that window's mean).  ``prior_from`` references resolve
-    against earlier specs in the list.
+    This is the machinery behind :func:`run_method_specs` and the planning
+    layer's :func:`repro.planning.sweep.failure_sweep`: snapshot specs share
+    one consistent snapshot problem, series specs share one series problem
+    per distinct window, and ``prior_from`` references resolve against
+    earlier specs in the list.
 
     With ``n_jobs > 1`` (or ``None`` for all cores) the shared problems are
     still built exactly once, and the specs are evaluated concurrently in
     dependency waves: every spec whose ``prior_from`` estimate is already
     available runs in the current wave, so independent specs never wait on
-    each other.  The records — values and order — are identical to the
+    each other.  The results — values and order — are identical to the
     serial run.
+
+    With ``skip_errors`` a failing spec yields a ``SpecEstimate`` whose
+    ``estimate`` is ``None`` (specs whose prior source failed are skipped
+    the same way) instead of raising.
     """
     labels = [spec.label for spec in specs]
     prior_source: dict[int, int] = {}
@@ -274,13 +349,25 @@ def run_method_specs(
     def problem_key(spec: MethodSpec) -> tuple[str, Optional[int]]:
         return (spec.data, _spec_window(spec, scenario))
 
-    vectors: dict[int, np.ndarray] = {}
+    def skipped_prior(position: int) -> tuple[None, str]:
+        source = prior_source[position]
+        return None, (
+            f"prior spec {specs[position].prior_from!r} was skipped: "
+            f"{results[source][1]}"
+        )
+
+    results: dict[int, tuple[Optional[np.ndarray], str]] = {}
     jobs = effective_jobs(n_jobs, len(specs), error=EstimationError)
     if jobs == 1:
         for position, spec in enumerate(specs):
             problem, _, _ = resolve_data(spec)
-            prior = vectors[prior_source[position]] if position in prior_source else None
-            vectors[position] = _evaluate_spec(spec, problem, prior)
+            prior = None
+            if position in prior_source:
+                prior = results[prior_source[position]][0]
+                if prior is None:
+                    results[position] = skipped_prior(position)
+                    continue
+            results[position] = _evaluate_spec_guarded(spec, problem, prior, skip_errors)
     else:
         from concurrent.futures import ProcessPoolExecutor
 
@@ -298,32 +385,63 @@ def run_method_specs(
                 wave = [
                     position
                     for position in pending
-                    if prior_source.get(position, -1) in vectors
+                    if prior_source.get(position, -1) in results
                     or position not in prior_source
                 ]
-                futures = {
-                    position: pool.submit(
+                futures = {}
+                for position in wave:
+                    prior = None
+                    if position in prior_source:
+                        prior = results[prior_source[position]][0]
+                        if prior is None:
+                            results[position] = skipped_prior(position)
+                            continue
+                    futures[position] = pool.submit(
                         _evaluate_spec_pooled,
                         specs[position],
                         problem_key(specs[position]),
-                        vectors.get(prior_source.get(position)),
+                        prior,
+                        skip_errors,
                     )
-                    for position in wave
-                }
-                for position in wave:
-                    vectors[position] = futures[position].result()
+                for position, future in futures.items():
+                    results[position] = future.result()
                 pending = [position for position in pending if position not in wave]
 
-    records: list[ExperimentRecord] = []
+    estimates: list[SpecEstimate] = []
     for position, spec in enumerate(specs):
         problem, truth, window = resolve_data(spec)
-        estimate = TrafficMatrix(problem.pairs, vectors[position])
+        vector, error = results[position]
+        estimates.append(
+            SpecEstimate(
+                spec=spec,
+                estimate=None if vector is None else TrafficMatrix(problem.pairs, vector),
+                truth=truth,
+                window=window,
+                error=error,
+            )
+        )
+    return estimates
+
+
+def run_method_specs(
+    scenario: Scenario,
+    specs: Sequence[MethodSpec],
+    n_jobs: Optional[int] = 1,
+) -> list[ExperimentRecord]:
+    """Run every method spec on ``scenario`` and record its MRE.
+
+    Thin scoring wrapper over :func:`estimate_method_specs` (see there for
+    the data-sharing and ``n_jobs`` wave semantics); the records — values
+    and order — are identical between serial and parallel runs.
+    """
+    records: list[ExperimentRecord] = []
+    for result in estimate_method_specs(scenario, specs, n_jobs=n_jobs):
         records.append(
             ExperimentRecord(
                 scenario=scenario.name,
-                method=spec.label,
-                mre=mean_relative_error(estimate, truth),
-                parameters=_recorded_parameters(spec, window),
+                method=result.label,
+                mre=mean_relative_error(result.estimate, result.truth),
+                parameters=_recorded_parameters(result.spec, result.window),
             )
         )
     return records

@@ -14,6 +14,9 @@ provides:
 * :class:`~repro.routing.routing_matrix.RoutingMatrix` and the builders
   :func:`~repro.routing.routing_matrix.build_routing_matrix` /
   :func:`~repro.routing.routing_matrix.build_ecmp_routing_matrix`;
+* :class:`~repro.routing.incremental.IncrementalRerouter` — failure-case
+  re-routing that re-signals only the affected demands and rebuilds the
+  routing matrix incrementally (the planning subsystem's fast path);
 * the pluggable storage backends of :mod:`repro.routing.backends`
   (dense ndarray / SciPy CSR, auto-selected by size and density).
 """
@@ -25,6 +28,7 @@ from repro.routing.backends import (
     make_backend,
 )
 from repro.routing.cspf import CSPFRouter
+from repro.routing.incremental import IncrementalRerouter, RerouteResult
 from repro.routing.lsp import LSP, LSPMesh, ReservationState
 from repro.routing.routing_matrix import (
     RoutingMatrix,
@@ -40,6 +44,8 @@ __all__ = [
     "LSPMesh",
     "ReservationState",
     "CSPFRouter",
+    "IncrementalRerouter",
+    "RerouteResult",
     "RoutingMatrix",
     "build_routing_matrix",
     "build_ecmp_routing_matrix",

@@ -16,12 +16,11 @@ on ``strict`` mode.
 
 from __future__ import annotations
 
-import heapq
 from typing import Optional, Sequence
 
 from repro.errors import RoutingError
 from repro.routing.lsp import LSP, LSPMesh, ReservationState
-from repro.routing.shortest_path import Path, ShortestPathRouter
+from repro.routing.shortest_path import Path, ShortestPathRouter, constrained_dijkstra
 from repro.topology.elements import Link, NodePair
 from repro.topology.network import Network
 
@@ -73,44 +72,9 @@ class CSPFRouter:
         def usable(link: Link) -> bool:
             return self.reservations.available(link.name) >= bandwidth_mbps - 1e-9
 
-        best_cost: dict[str, float] = {pair.origin: 0.0}
-        best_route: dict[str, tuple[tuple[str, ...], tuple[Link, ...]]] = {
-            pair.origin: ((pair.origin,), ())
-        }
-        heap: list[tuple[float, tuple[str, ...], str]] = [(0.0, (pair.origin,), pair.origin)]
-        visited: set[str] = set()
-        while heap:
-            cost, _, node = heapq.heappop(heap)
-            if node in visited:
-                continue
-            visited.add(node)
-            if node == pair.destination:
-                break
-            for link in self.network.outgoing_links(node):
-                if not usable(link):
-                    continue
-                next_cost = cost + link.metric
-                nodes, links = best_route[node]
-                candidate = (nodes + (link.target,), links + (link,))
-                current = best_cost.get(link.target)
-                if (
-                    current is None
-                    or next_cost < current - 1e-12
-                    or (
-                        abs(next_cost - current) <= 1e-12
-                        and candidate[0] < best_route[link.target][0]
-                    )
-                ):
-                    best_cost[link.target] = next_cost
-                    best_route[link.target] = candidate
-                    heapq.heappush(heap, (next_cost, candidate[0], link.target))
-
-        if pair.destination not in best_route:
-            return None
-        nodes, links = best_route[pair.destination]
-        if len(nodes) < 2:
-            return None
-        return Path(pair=pair, nodes=nodes, links=links, cost=best_cost[pair.destination])
+        return constrained_dijkstra(
+            self.network, pair, lambda link: link.metric, usable=usable
+        )
 
     # ------------------------------------------------------------------
     def signal_lsp(self, lsp: LSP) -> Path:

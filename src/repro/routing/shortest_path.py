@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import RoutingError
 from repro.topology.elements import Link, NodePair
 from repro.topology.network import Network
 
-__all__ = ["Path", "ShortestPathRouter"]
+__all__ = ["Path", "ShortestPathRouter", "constrained_dijkstra"]
 
 
 @dataclass(frozen=True)
@@ -84,6 +84,67 @@ class Path:
         return len(self.links)
 
 
+def constrained_dijkstra(
+    network: Network,
+    pair: NodePair,
+    link_cost: Callable[[Link], float],
+    usable: Optional[Callable[[Link], bool]] = None,
+) -> Optional[Path]:
+    """Deterministic Dijkstra with an optional link filter.
+
+    This is the *single* shortest-path implementation of the routing
+    substrate: :class:`ShortestPathRouter` (IGP),
+    :class:`~repro.routing.cspf.CSPFRouter` (bandwidth admission via
+    ``usable``) and :class:`~repro.routing.incremental.IncrementalRerouter`
+    (failure exclusion via ``usable``) all call it.  Sharing one
+    implementation is what makes incremental reroute provably identical to
+    a from-scratch rebuild: tie-breaking — the lexicographically smallest
+    node sequence among equal-cost paths — cannot drift between callers.
+
+    Returns ``None`` when the destination is unreachable over the usable
+    links (callers decide whether that is an error, a fallback, or an
+    infeasible planning record).
+    """
+    best_cost: dict[str, float] = {pair.origin: 0.0}
+    best_route: dict[str, tuple[tuple[str, ...], tuple[Link, ...]]] = {
+        pair.origin: ((pair.origin,), ())
+    }
+    heap: list[tuple[float, tuple[str, ...], str]] = [(0.0, (pair.origin,), pair.origin)]
+    visited: set[str] = set()
+    while heap:
+        cost, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == pair.destination:
+            break
+        for link in network.outgoing_links(node):
+            if usable is not None and not usable(link):
+                continue
+            next_cost = cost + link_cost(link)
+            nodes, links = best_route[node]
+            candidate = (nodes + (link.target,), links + (link,))
+            current = best_cost.get(link.target)
+            if (
+                current is None
+                or next_cost < current - 1e-12
+                or (
+                    abs(next_cost - current) <= 1e-12
+                    and candidate[0] < best_route[link.target][0]
+                )
+            ):
+                best_cost[link.target] = next_cost
+                best_route[link.target] = candidate
+                heapq.heappush(heap, (next_cost, candidate[0], link.target))
+
+    if pair.destination not in best_route:
+        return None
+    nodes, links = best_route[pair.destination]
+    if len(nodes) < 2:
+        return None
+    return Path(pair=pair, nodes=nodes, links=links, cost=best_cost[pair.destination])
+
+
 class ShortestPathRouter:
     """Dijkstra single-path and ECMP routing on link metrics.
 
@@ -126,50 +187,13 @@ class ShortestPathRouter:
         """
         self.network.node(pair.origin)
         self.network.node(pair.destination)
-
-        # Dijkstra with lexicographic tie-breaking on the node sequence.
-        best_cost: dict[str, float] = {pair.origin: 0.0}
-        best_route: dict[str, tuple[tuple[str, ...], tuple[Link, ...]]] = {
-            pair.origin: ((pair.origin,), ())
-        }
-        heap: list[tuple[float, tuple[str, ...], str]] = [(0.0, (pair.origin,), pair.origin)]
-        visited: set[str] = set()
-        while heap:
-            cost, route_nodes, node = heapq.heappop(heap)
-            if node in visited:
-                continue
-            visited.add(node)
-            if node == pair.destination:
-                break
-            for link in self.network.outgoing_links(node):
-                next_cost = cost + self._link_cost(link)
-                nodes, links = best_route[node]
-                candidate = (nodes + (link.target,), links + (link,))
-                current = best_cost.get(link.target)
-                if (
-                    current is None
-                    or next_cost < current - 1e-12
-                    or (
-                        abs(next_cost - current) <= 1e-12
-                        and candidate[0] < best_route[link.target][0]
-                    )
-                ):
-                    best_cost[link.target] = next_cost
-                    best_route[link.target] = candidate
-                    heapq.heappush(heap, (next_cost, candidate[0], link.target))
-
-        if pair.destination not in best_route or pair.destination not in best_cost:
+        path = constrained_dijkstra(self.network, pair, self._link_cost)
+        if path is None:
             raise RoutingError(
                 f"no path from {pair.origin!r} to {pair.destination!r} "
                 f"in network {self.network.name!r}"
             )
-        nodes, links = best_route[pair.destination]
-        if len(nodes) < 2:
-            raise RoutingError(
-                f"no path from {pair.origin!r} to {pair.destination!r} "
-                f"in network {self.network.name!r}"
-            )
-        return Path(pair=pair, nodes=nodes, links=links, cost=best_cost[pair.destination])
+        return path
 
     def all_shortest_paths(self, pair: NodePair, tolerance: float = 1e-9) -> tuple[Path, ...]:
         """Return every equal-cost shortest path for ``pair`` (ECMP set).

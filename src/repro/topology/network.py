@@ -61,6 +61,7 @@ class Network:
         self._links: dict[str, Link] = {}
         self._link_index: dict[str, int] = {}
         self._adjacency: dict[str, list[Link]] = {}
+        self._graph: Optional[nx.DiGraph] = None
         for node in nodes:
             self.add_node(node)
         for link in links:
@@ -75,6 +76,7 @@ class Network:
             raise TopologyError(f"duplicate node {node.name!r}")
         self._nodes[node.name] = node
         self._adjacency.setdefault(node.name, [])
+        self._graph = None
 
     def add_link(self, link: Link) -> None:
         """Add a directed link whose endpoints must already exist."""
@@ -87,6 +89,7 @@ class Network:
         self._link_index[link.name] = len(self._links)
         self._links[link.name] = link
         self._adjacency[link.source].append(link)
+        self._graph = None
 
     def add_bidirectional_link(self, link: Link) -> None:
         """Add ``link`` and its reverse in one call (common for backbones)."""
@@ -265,7 +268,17 @@ class Network:
         ``metric``, ``kind`` and ``name``); node attributes carry the role,
         region and population.  Parallel links collapse to the lowest-metric
         one, which matches how the IGP would prefer them.
+
+        The view is built once and cached so that repeated
+        :meth:`validate` / :meth:`is_connected` calls (e.g. connectivity
+        probes of surviving topologies) and external NetworkX-based
+        consumers stop rebuilding it per call; the cache is invalidated by
+        :meth:`add_node` / :meth:`add_link`.  The returned graph is frozen
+        (mutating it would corrupt the shared cache); mutate a ``.copy()``
+        instead.
         """
+        if self._graph is not None:
+            return self._graph
         graph = nx.DiGraph(name=self.name)
         for node in self._nodes.values():
             graph.add_node(
@@ -287,7 +300,8 @@ class Network:
                 kind=link.kind,
                 name=link.name,
             )
-        return graph
+        self._graph = nx.freeze(graph)
+        return self._graph
 
     def subnetwork(self, name: str, node_names: Sequence[str]) -> "Network":
         """Return the sub-network induced by ``node_names``.

@@ -1,0 +1,49 @@
+"""Fixtures for the planning tests: a partitionable dumbbell topology.
+
+Two triangles joined by a single bidirectional bridge.  Every redundant
+element can fail without disconnecting anything, but failing the bridge
+(either direction, or the pair) partitions the cross-triangle demands —
+exactly the case the planning layer must survive with structured
+``infeasible`` results instead of exceptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Scenario
+from repro.routing import build_routing_matrix
+from repro.topology import Link, Network, Node
+from repro.traffic import TrafficMatrix, TrafficMatrixSeries
+
+
+@pytest.fixture
+def dumbbell_network() -> Network:
+    """Triangles A-B-C and D-E-F joined by the single bridge C<->D."""
+    network = Network("dumbbell")
+    for name in ("A", "B", "C", "D", "E", "F"):
+        network.add_node(Node(name=name, population=1.0))
+    triangles = (("A", "B"), ("B", "C"), ("A", "C"), ("D", "E"), ("E", "F"), ("D", "F"))
+    for a, b in triangles:
+        network.add_bidirectional_link(Link(source=a, target=b, capacity_mbps=1000.0, metric=1.0))
+    network.add_bidirectional_link(Link(source="C", target="D", capacity_mbps=1000.0, metric=1.0))
+    return network
+
+
+@pytest.fixture
+def dumbbell_scenario(dumbbell_network) -> Scenario:
+    """A small deterministic scenario over the dumbbell topology."""
+    pairs = dumbbell_network.node_pairs()
+    rng = np.random.default_rng(7)
+    snapshots = [
+        TrafficMatrix(pairs, 50.0 + 40.0 * rng.random(len(pairs))) for _ in range(8)
+    ]
+    series = TrafficMatrixSeries(snapshots)
+    return Scenario(
+        name="dumbbell",
+        network=dumbbell_network,
+        routing=build_routing_matrix(dumbbell_network),
+        day_series=series,
+        busy_length=4,
+    )

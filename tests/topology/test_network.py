@@ -136,6 +136,26 @@ class TestValidationAndViews:
         assert graph.number_of_edges() == 8
         assert graph.edges["A", "B"]["capacity_mbps"] == 10_000.0
 
+    def test_to_networkx_is_cached(self):
+        network = build_square()
+        assert network.to_networkx() is network.to_networkx()
+
+    def test_to_networkx_cache_invalidated_by_add_node(self):
+        network = build_square()
+        first = network.to_networkx()
+        network.add_node(Node(name="E"))
+        second = network.to_networkx()
+        assert second is not first
+        assert second.has_node("E")
+
+    def test_to_networkx_cache_invalidated_by_add_link(self):
+        network = build_square()
+        first = network.to_networkx()
+        network.add_link(Link(source="A", target="C"))
+        second = network.to_networkx()
+        assert second is not first
+        assert second.has_edge("A", "C")
+
     def test_subnetwork_drops_external_links(self):
         network = build_square()
         sub = network.subnetwork("ab", ["A", "B"])
@@ -145,6 +165,34 @@ class TestValidationAndViews:
     def test_subnetwork_with_unknown_node_rejected(self):
         with pytest.raises(TopologyError):
             build_square().subnetwork("bad", ["A", "Z"])
+
+    def test_subnetwork_empty_selection_rejected(self):
+        with pytest.raises(TopologyError):
+            build_square().subnetwork("empty", [])
+
+    def test_subnetwork_single_node_has_no_pairs(self):
+        sub = build_square().subnetwork("solo", ["A"])
+        assert sub.num_nodes == 1
+        assert sub.num_links == 0
+        assert sub.num_pairs == 0
+        with pytest.raises(TopologyError):
+            sub.validate()
+
+    def test_subnetwork_can_be_disconnected(self):
+        # Opposite corners of the square share no link: the subnetwork
+        # keeps both nodes but is unroutable, which planning layers must
+        # detect rather than assume.
+        sub = build_square().subnetwork("corners", ["A", "C"])
+        assert sub.num_nodes == 2
+        assert sub.num_links == 0
+        assert not sub.is_connected()
+
+    def test_subnetwork_preserves_canonical_order(self):
+        network = build_square()
+        sub = network.subnetwork("bcd", ["D", "B", "C"])  # selection order irrelevant
+        assert sub.node_names == ("B", "C", "D")
+        base_order = [l.name for l in network.links if {l.source, l.target} <= {"B", "C", "D"}]
+        assert list(sub.link_names) == base_order
 
     def test_total_capacity(self):
         network = build_square()

@@ -1,0 +1,244 @@
+"""Acceptance benchmark: the large-topology fast path.
+
+The estimation problem is quadratic in node count (``P = N (N - 1)``
+pairs), yet until this engine the hot paths assumed the paper's <= 25-node
+scale: ``route_all`` ran one truncated Dijkstra **per pair**, and the
+regularised estimators pulled the dense ``(links, pairs)`` routing view
+even on CSR backends.  This benchmark measures the fast path on random
+backbones of growing size:
+
+* **routing build** — batched single-source ``route_all`` + vectorized COO
+  assembly against the legacy per-pair loop (``route_all_pairwise``) with
+  the per-path assembly, with path-for-path equality asserted;
+* **estimators** — per-method ``estimate`` wall time on a
+  ``large_scenario`` snapshot problem at every ``N``;
+* **memory** — a tracemalloc guard proving the sparse paths never
+  materialise a dense routing-sized array (peak allocation stays under the
+  dense ``(L, P)`` footprint);
+* **drift** — batched routing and sparse estimator paths pinned to the
+  legacy results on the named scenarios (routing paths must be identical;
+  estimator drift is the max relative L2 difference between dense- and
+  sparse-backend estimates on Europe).
+
+Run directly (CI uses a single small N and a relaxed speedup floor for
+shared runners)::
+
+    PYTHONPATH=src python benchmarks/bench_large_scale.py
+    PYTHONPATH=src BENCH_PR5_NS=50 BENCH_PR5_MIN_ROUTING_SPEEDUP=3.0 \
+        python benchmarks/bench_large_scale.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from benchrecord import REPO_ROOT, merge_record
+
+RECORD_PATH = REPO_ROOT / "BENCH_PR5.json"
+
+SEED = 2004
+ESTIMATORS = ("gravity", "kruithof", "tomogravity", "entropy", "bayesian")
+#: Methods compared dense-vs-sparse for the drift pin (Europe scale).
+DRIFT_METHODS = ("gravity", "kruithof", "bayesian", "entropy", "tomogravity")
+
+
+def parse_ns() -> tuple[int, ...]:
+    raw = os.environ.get("BENCH_PR5_NS", "50,100,200")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def assert_paths_equal(batched, legacy) -> None:
+    assert set(batched) == set(legacy)
+    for pair, path in batched.items():
+        other = legacy[pair]
+        assert path.nodes == other.nodes, f"node drift for {pair}"
+        assert path.link_names() == other.link_names(), f"link drift for {pair}"
+        assert abs(path.cost - other.cost) <= 1e-9, f"cost drift for {pair}"
+
+
+def routing_benchmark(n_nodes: int) -> dict:
+    from repro.routing.routing_matrix import build_routing_matrix
+    from repro.routing.shortest_path import ShortestPathRouter
+    from repro.topology.generators import random_backbone
+
+    network = random_backbone(n_nodes, avg_degree=3.0, seed=SEED, name=f"bench-{n_nodes}")
+    router = ShortestPathRouter(network)
+
+    start = time.perf_counter()
+    legacy_paths = router.route_all_pairwise()
+    build_routing_matrix(network, paths=legacy_paths)
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched_paths = router.route_all()
+    matrix = build_routing_matrix(network, paths=batched_paths)
+    batched_seconds = time.perf_counter() - start
+
+    assert_paths_equal(batched_paths, legacy_paths)
+    return {
+        "num_nodes": n_nodes,
+        "num_links": network.num_links,
+        "num_pairs": network.num_pairs,
+        "backend": matrix.backend_kind,
+        "density": matrix.density,
+        "legacy_seconds": legacy_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": legacy_seconds / batched_seconds,
+        "paths_identical": True,
+    }
+
+
+def estimator_benchmark(n_nodes: int, guard_memory: bool) -> dict:
+    from repro.datasets import large_scenario
+    from repro.estimation.registry import get_estimator
+
+    scenario = large_scenario(n_nodes, seed=SEED)
+    problem = scenario.snapshot_problem()
+    num_pairs = scenario.routing.num_pairs
+    dense_bytes = float(scenario.routing.num_links * num_pairs * 8)
+    # Below the Gram limit the exact solvers build dense (P, P) normal
+    # equations by design; only above it must every intermediate stay
+    # under the dense routing footprint (the sign of a densified R).
+    from repro.estimation.bayesian import _GRAM_PAIR_LIMIT
+
+    if num_pairs <= _GRAM_PAIR_LIMIT:
+        memory_allowance = dense_bytes + 6.0 * num_pairs * num_pairs * 8
+    else:
+        memory_allowance = dense_bytes
+    timings: dict[str, float] = {}
+    peak_bytes = 0.0
+    for name in ESTIMATORS:
+        estimator = get_estimator(name)
+        if guard_memory:
+            tracemalloc.start()
+        start = time.perf_counter()
+        estimator.estimate(problem)
+        timings[name] = time.perf_counter() - start
+        if guard_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            peak_bytes = max(peak_bytes, float(peak))
+            assert peak < memory_allowance, (
+                f"{name} allocated {peak / 1e6:.1f} MB at N={n_nodes}, above the "
+                f"allowance {memory_allowance / 1e6:.1f} MB — a sparse path densified"
+            )
+    payload = {
+        "num_pairs": scenario.routing.num_pairs,
+        "backend": scenario.routing.backend_kind,
+        "estimate_seconds": timings,
+    }
+    if guard_memory:
+        payload["dense_routing_bytes"] = dense_bytes
+        payload["memory_allowance_bytes"] = memory_allowance
+        payload["peak_estimator_bytes"] = peak_bytes
+        payload["no_densification"] = True
+    return payload
+
+
+def named_scenario_drift() -> dict:
+    """Pin batched routing + sparse estimators to the legacy results."""
+    from repro.datasets import abilene_scenario, america_scenario, europe_scenario
+    from repro.estimation.base import EstimationProblem
+    from repro.estimation.registry import get_estimator
+    from repro.routing.shortest_path import ShortestPathRouter
+
+    drift = 0.0
+    routing_checked = []
+    scenarios = {
+        "europe": europe_scenario(),
+        "america": america_scenario(),
+        "abilene": abilene_scenario(),
+    }
+    for name, scenario in scenarios.items():
+        router = ShortestPathRouter(scenario.network)
+        assert_paths_equal(router.route_all(), router.route_all_pairwise())
+        routing_checked.append(name)
+
+    europe = scenarios["europe"]
+    truth = europe.busy_mean_matrix()
+    loads = europe.routing.with_backend("dense").link_loads(truth.vector)
+
+    def problem(backend: str) -> EstimationProblem:
+        return EstimationProblem(
+            routing=europe.routing.with_backend(backend),
+            link_loads=loads,
+            origin_totals=truth.origin_totals(),
+            destination_totals=truth.destination_totals(),
+        )
+
+    dense_problem, sparse_problem = problem("dense"), problem("sparse")
+    for method in DRIFT_METHODS:
+        dense_vec = get_estimator(method).estimate(dense_problem).vector
+        sparse_vec = get_estimator(method).estimate(sparse_problem).vector
+        scale = max(float(np.linalg.norm(dense_vec)), 1e-12)
+        drift = max(drift, float(np.linalg.norm(dense_vec - sparse_vec)) / scale)
+    return {
+        "routing_paths_identical_on": routing_checked,
+        "estimator_methods": list(DRIFT_METHODS),
+        "max_relative_drift": drift,
+    }
+
+
+def main() -> dict:
+    ns = parse_ns()
+    minimum_speedup = float(os.environ.get("BENCH_PR5_MIN_ROUTING_SPEEDUP", "10.0"))
+    max_n = max(ns)
+
+    routing_records = []
+    estimator_records = {}
+    for n_nodes in ns:
+        print(f"[large scale] N={n_nodes}: routing build (legacy per-pair vs batched) ...")
+        record = routing_benchmark(n_nodes)
+        routing_records.append(record)
+        print(
+            f"[large scale] N={n_nodes}: legacy {record['legacy_seconds']:6.2f}s  "
+            f"batched {record['batched_seconds']:6.2f}s  "
+            f"speedup {record['speedup']:6.1f}x"
+        )
+        print(f"[large scale] N={n_nodes}: estimators on the {record['backend']} backend ...")
+        estimator_records[str(n_nodes)] = estimator_benchmark(
+            n_nodes, guard_memory=n_nodes == max_n
+        )
+        for method, seconds in estimator_records[str(n_nodes)]["estimate_seconds"].items():
+            print(f"[large scale]     {method:12s} {seconds:6.2f}s")
+
+    print("[large scale] drift pins on the named scenarios ...")
+    drift = named_scenario_drift()
+    print(f"[large scale] max relative estimator drift {drift['max_relative_drift']:.2e}")
+
+    headline = routing_records[-1]
+    payload = {
+        "seed": SEED,
+        "ns": list(ns),
+        "routing_build": routing_records,
+        "estimators": estimator_records,
+        "drift": drift,
+        "minimum_routing_speedup": minimum_speedup,
+        "headline_routing_speedup": headline["speedup"],
+        "cpu_count": os.cpu_count(),
+    }
+    merge_record(RECORD_PATH, "large_scale", payload)
+
+    assert headline["speedup"] >= minimum_speedup, (
+        f"routing build speedup {headline['speedup']:.1f}x at N={headline['num_nodes']} "
+        f"below the required {minimum_speedup:.1f}x"
+    )
+    assert drift["max_relative_drift"] < 1e-3, (
+        f"estimator drift {drift['max_relative_drift']:.2e} above 1e-3"
+    )
+    print(
+        f"[large scale] OK (>= {minimum_speedup:.1f}x at N={headline['num_nodes']}), "
+        f"recorded in {RECORD_PATH.name}"
+    )
+    return payload
+
+
+if __name__ == "__main__":
+    main()

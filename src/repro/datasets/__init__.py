@@ -13,6 +13,7 @@ from repro.datasets.backbone import (
     abilene_scenario,
     america_scenario,
     europe_scenario,
+    large_scenario,
     small_scenario,
 )
 from repro.datasets.scenarios import MeasuredScenario, Scenario, SweepRecord
@@ -25,5 +26,6 @@ __all__ = [
     "america_scenario",
     "abilene_scenario",
     "small_scenario",
+    "large_scenario",
     "DEFAULT_SEED",
 ]

@@ -40,6 +40,7 @@ __all__ = [
     "america_scenario",
     "abilene_scenario",
     "small_scenario",
+    "large_scenario",
     "DEFAULT_SEED",
 ]
 
@@ -174,6 +175,75 @@ def small_scenario(
     routing = build_routing_matrix(network)
     return Scenario(
         name=f"small-{num_nodes}",
+        network=network,
+        routing=routing,
+        day_series=day,
+        busy_length=busy_length,
+    )
+
+
+def large_scenario(
+    num_nodes: int,
+    seed: int = DEFAULT_SEED,
+    busy_length: int = 24,
+    num_samples: int = 48,
+    avg_degree: float = 3.0,
+    total_traffic_mbps: Optional[float] = None,
+) -> Scenario:
+    """Build a large random-backbone scenario for scaling studies.
+
+    The paper's networks stop at 25 PoPs; this builder is the workload the
+    large-topology fast paths (batched all-pairs routing, sparse estimator
+    hot paths) are benchmarked on.  It combines
+    :func:`~repro.topology.generators.random_backbone` — Zipf-like
+    populations, ring + random chords, strongly connected — with the same
+    synthetic diurnal traffic machinery as the named scenarios, sized so
+    that a 200-node mesh (39 800 demands) still generates in seconds:
+
+    * the day series covers the hours around the evening peak at a
+      five-minute resolution (``num_samples`` snapshots, default four
+      hours) rather than a full 288-sample day;
+    * the routing matrix is auto-selected to the sparse CSR backend (a
+      backbone's density falls like ``mean path length / num_links``, well
+      under 2 % at this scale).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of PoPs (the estimation problem has ``N * (N - 1)`` pairs).
+    seed:
+        Deterministic seed for topology and traffic.
+    busy_length:
+        Busy-window length for the estimation problems.
+    num_samples:
+        Snapshots in the generated series (five-minute spacing).
+    avg_degree:
+        Target average undirected degree of the topology.
+    total_traffic_mbps:
+        Total busy-hour traffic; defaults to 600 Mbit/s per PoP, keeping
+        per-link utilisation in a realistic band as the mesh grows.
+    """
+    network = random_backbone(
+        num_nodes, avg_degree=avg_degree, seed=seed, name=f"large-{num_nodes}"
+    )
+    if total_traffic_mbps is None:
+        total_traffic_mbps = 600.0 * num_nodes
+    config = SyntheticTrafficConfig(
+        total_traffic_mbps=float(total_traffic_mbps),
+        gravity_distortion=0.7,
+        scaling_law=ScalingLaw(phi=1.0, c=1.5),
+        fanout_jitter=0.03,
+        origin_phase_spread_hours=0.75,
+    )
+    base = base_demand_matrix(network, config, seed=seed + 40)
+    model = SyntheticTrafficModel(
+        network, base, profile=american_profile(), config=config, seed=seed + 41
+    )
+    day = model.generate_series(num_samples, start_time_seconds=16.0 * 3600)
+    busy_length = min(busy_length, len(day))
+    routing = build_routing_matrix(network)
+    return Scenario(
+        name=f"large-{num_nodes}",
         network=network,
         routing=routing,
         day_series=day,

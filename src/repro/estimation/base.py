@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Callable, Mapping, Optional, Union
 
 import numpy as np
 import scipy.sparse
@@ -132,6 +132,7 @@ class EstimationProblem:
             object.__setattr__(self, "destination_totals_series", series)
         # Lazy caches (the dataclass is frozen, so set them via object.__setattr__).
         object.__setattr__(self, "_augmented_cache", {})
+        object.__setattr__(self, "_shared_cache", {})
 
     # ------------------------------------------------------------------
     @property
@@ -182,6 +183,49 @@ class EstimationProblem:
         if mean_length <= 0:
             raise EstimationError("routing matrix has empty paths; cannot infer total traffic")
         return float(snapshot.sum() / mean_length)
+
+    # ------------------------------------------------------------------
+    # shared per-problem workspace
+    # ------------------------------------------------------------------
+    def shared(self, key: tuple, builder: Callable[[], Any]) -> Any:
+        """Compute-once workspace shared by every estimator run on this problem.
+
+        ``sweep()`` and ``method_comparison`` hand the *same* problem object
+        to K methods, most of which redo identical setup — the gravity
+        prior, pair-position index arrays, per-snapshot prior series.  This
+        cache lets that setup run once per problem instead of once per
+        method: the first caller pays ``builder()``, later callers get the
+        cached value.  Cached arrays are returned as-is, so treat them as
+        read-only (the prior helpers mark theirs immutable).
+        """
+        cache = self._shared_cache
+        if key not in cache:
+            cache[key] = builder()
+        return cache[key]
+
+    def pair_positions(self) -> tuple[tuple[str, ...], tuple[str, ...], np.ndarray, np.ndarray]:
+        """``(origins, destinations, origin_cols, destination_cols)`` for the pairs.
+
+        ``origin_cols[p]`` / ``destination_cols[p]`` are the indices of pair
+        ``p``'s origin and destination within the first-appearance label
+        orders — the index arrays every vectorised totals/gravity/Kruithof
+        path needs, built once per problem.
+        """
+
+        def build() -> tuple[tuple[str, ...], tuple[str, ...], np.ndarray, np.ndarray]:
+            origins = self.origin_order()
+            destinations = self.destination_order()
+            origin_index = {name: idx for idx, name in enumerate(origins)}
+            destination_index = {name: idx for idx, name in enumerate(destinations)}
+            origin_cols = np.array([origin_index[pair.origin] for pair in self.pairs])
+            destination_cols = np.array(
+                [destination_index[pair.destination] for pair in self.pairs]
+            )
+            origin_cols.setflags(write=False)
+            destination_cols.setflags(write=False)
+            return origins, destinations, origin_cols, destination_cols
+
+        return self.shared(("pair_positions",), build)
 
     # ------------------------------------------------------------------
     # edge-total incidence structure

@@ -37,10 +37,17 @@ from repro.estimation.base import (
 from repro.estimation.priors import make_prior
 from repro.estimation.registry import register
 from repro.optimize.ipf import kl_divergence
+from repro.routing.backends import RoutingBackend
 
 __all__ = ["EntropyEstimator"]
 
 _POSITIVE_FLOOR = 1e-9
+
+#: Above this many pairs the damped-Newton series path (which builds and
+#: factorises a dense free-by-free Hessian) is slower than warm-started
+#: quasi-Newton, so the series estimation falls back to the generic
+#: warm-started per-snapshot loop.
+_NEWTON_FREE_LIMIT = 1200
 
 
 @register()
@@ -81,6 +88,18 @@ class EntropyEstimator(Estimator):
         self.prior = prior
         self.max_iterations = int(max_iterations)
         self.scale_invariant = bool(scale_invariant)
+        self._warm_start: Optional[np.ndarray] = None
+
+    def set_warm_start(self, vector: np.ndarray) -> None:
+        """Use ``vector`` as the next solve's starting point.
+
+        Called by the generic :meth:`~repro.estimation.base.Estimator.estimate_series`
+        loop with the previous snapshot's solution.  The objective is
+        strictly convex on its support, so the warm start only changes how
+        fast L-BFGS-B reaches the minimiser, not which minimiser it reaches.
+        One-shot: it applies to the next :meth:`estimate` call only.
+        """
+        self._warm_start = np.asarray(vector, dtype=float).copy()
 
     # ------------------------------------------------------------------
     def _prior_vector(self, problem: EstimationProblem) -> np.ndarray:
@@ -95,17 +114,39 @@ class EntropyEstimator(Estimator):
             raise EstimationError("prior demands must be non-negative")
         return prior
 
+    @staticmethod
+    def _reduced_backend(problem: EstimationProblem, free: np.ndarray) -> RoutingBackend:
+        """The routing backend restricted to the free columns (same kind).
+
+        Column selection happens on the backend, never through the dense
+        view, so sparse problems stay CSR end to end.  The reduced backend
+        is cached in the problem's shared workspace keyed by the free mask:
+        sweeps running several prior-sharing methods — and the Newton
+        series path iterating snapshots with a stable support — reuse one
+        column slice and one cached reduced Gram instead of rebuilding
+        them per call.
+        """
+        full = bool(free.all())
+        key = ("entropy_reduced", None if full else free.tobytes())
+        return problem.shared(
+            key,
+            lambda: problem.routing.backend
+            if full
+            else problem.routing.select_pairs(np.flatnonzero(free)),
+        )
+
     def estimate(self, problem: EstimationProblem) -> EstimationResult:
         """Minimise the regularised objective with projected quasi-Newton steps."""
         prior = self._prior_vector(problem)
-        routing = problem.routing.matrix
         snapshot = problem.snapshot
+        warm_start = self._warm_start
+        self._warm_start = None
 
         free = prior > 0
         if not np.any(free):
             # A zero prior forces a zero estimate (KL keeps zeros at zero).
             return self._result(problem, np.zeros(problem.num_pairs), prior_kind="zero")
-        reduced_routing = routing[:, free]
+        reduced = self._reduced_backend(problem, free)
         reduced_prior = prior[free]
 
         # Optional scale normalisation keeps sigma^2 dimensionless.
@@ -115,15 +156,18 @@ class EntropyEstimator(Estimator):
         weight = 1.0 / self.regularization
 
         def objective_and_gradient(x: np.ndarray) -> tuple[float, np.ndarray]:
-            residual = reduced_routing @ x - snapshot
+            residual = reduced.matvec(x) - snapshot
             fit_term = float(residual @ residual)
             ratio = np.maximum(x, _POSITIVE_FLOOR) / reduced_prior
             kl_term = float(np.sum(x * np.log(ratio) - x + reduced_prior))
             value = fit_term + weight * scale * kl_term
-            gradient = 2.0 * reduced_routing.T @ residual + weight * scale * np.log(ratio)
+            gradient = 2.0 * reduced.rmatvec(residual) + weight * scale * np.log(ratio)
             return value, gradient
 
-        start = reduced_prior.copy()
+        if warm_start is not None and warm_start.shape == (problem.num_pairs,):
+            start = np.maximum(warm_start[free], _POSITIVE_FLOOR)
+        else:
+            start = reduced_prior.copy()
         bounds = [(_POSITIVE_FLOOR, None)] * int(free.sum())
         outcome = scipy.optimize.minimize(
             objective_and_gradient,
@@ -140,7 +184,9 @@ class EntropyEstimator(Estimator):
             values,
             regularization=self.regularization,
             prior_kind=self.prior if isinstance(self.prior, str) else "explicit",
-            link_residual=float(np.linalg.norm(routing @ values - snapshot)),
+            link_residual=float(
+                np.linalg.norm(problem.routing.matvec(values) - snapshot)
+            ),
             kl_to_prior=kl_divergence(values[free], prior[free]),
             solver_iterations=int(outcome.nit),
             solver_converged=bool(outcome.success),
@@ -151,7 +197,7 @@ class EntropyEstimator(Estimator):
     # ------------------------------------------------------------------
     def _newton_solve(
         self,
-        reduced_routing: np.ndarray,
+        reduced: RoutingBackend,
         snapshot: np.ndarray,
         reduced_prior: np.ndarray,
         kl_weight: float,
@@ -168,13 +214,15 @@ class EntropyEstimator(Estimator):
         the same point L-BFGS-B finds — typically in under a dozen
         iterations when started from the previous snapshot's solution.
         Returns ``(None, iterations)`` when it fails to converge so the
-        caller can fall back to the quasi-Newton path.
+        caller can fall back to the quasi-Newton path.  ``reduced`` is the
+        routing backend restricted to the free columns; its cached Gram is
+        shared across the snapshots of a series.
         """
-        gram2 = 2.0 * reduced_routing.T @ reduced_routing
-        linear2 = 2.0 * reduced_routing.T @ snapshot
+        gram2 = 2.0 * reduced.gram()
+        linear2 = 2.0 * reduced.rmatvec(snapshot)
 
         def objective(x: np.ndarray) -> float:
-            residual = reduced_routing @ x - snapshot
+            residual = reduced.matvec(x) - snapshot
             ratio = np.maximum(x, _POSITIVE_FLOOR) / reduced_prior
             return float(residual @ residual) + kl_weight * float(
                 np.sum(x * np.log(ratio) - x + reduced_prior)
@@ -233,9 +281,17 @@ class EntropyEstimator(Estimator):
         convergence tolerance), while the warm start plus second-order
         convergence replaces hundreds of L-BFGS-B iterations with a few.
         Snapshots where Newton does not converge fall back to the exact
-        per-snapshot path.
+        per-snapshot path.  Problems with more than ``_NEWTON_FREE_LIMIT``
+        pairs skip the dense free-by-free Hessian entirely and run the
+        warm-started quasi-Newton loop instead (same minimiser, no large
+        dense intermediate) — the path large sparse backbones take.  (The
+        gate uses the pair count, not the prior's support: building a
+        prior just to count positives would pay the full prior cost — two
+        LPs per pair for ``"wcb"`` — on a throwaway sub-problem.)
         """
         series = problem.series
+        if problem.num_pairs > _NEWTON_FREE_LIMIT:
+            return super().estimate_series(problem)
         estimates = np.empty((series.shape[0], problem.num_pairs))
         previous: Optional[np.ndarray] = None
         newton_snapshots = 0
@@ -253,8 +309,11 @@ class EntropyEstimator(Estimator):
                 start = reduced_prior if previous is None else np.maximum(
                     previous[free], _POSITIVE_FLOOR
                 )
+                # Key the reduced slice on the *series* problem so every
+                # snapshot with the same support shares one column slice
+                # and one cached Gram.
                 reduced, iterations = self._newton_solve(
-                    sub_problem.routing.matrix[:, free],
+                    self._reduced_backend(problem, free),
                     sub_problem.snapshot,
                     reduced_prior,
                     kl_weight,

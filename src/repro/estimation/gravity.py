@@ -78,25 +78,43 @@ def gravity_vector(
         generalised model).
 
     The result is scaled so its total equals the measured total traffic
-    (the sum of the origin totals).
+    (the sum of the origin totals).  The exclusion-free form is cached in
+    the problem's shared workspace (and returned read-only), so the many
+    estimators that use a gravity prior pay the model once per problem.
     """
-    origin_totals, destination_totals = _edge_totals(problem)
-    excluded_pairs = excluded_pairs or set()
-    values = np.array(
-        [
-            0.0
-            if pair in excluded_pairs
-            else origin_totals[pair.origin] * destination_totals[pair.destination]
-            for pair in problem.pairs
-        ]
-    )
-    total = values.sum()
-    measured_total = float(sum(origin_totals.values()))
-    if total <= 0:
-        if measured_total > 0:
-            raise EstimationError("gravity model produced a zero matrix for non-zero traffic")
-        return np.zeros(len(problem.pairs))
-    return values * (measured_total / total)
+
+    def compute() -> np.ndarray:
+        origin_totals, destination_totals = _edge_totals(problem)
+        origins, destinations, origin_cols, destination_cols = problem.pair_positions()
+        origin_values = np.array([origin_totals[name] for name in origins])
+        destination_values = np.array([destination_totals[name] for name in destinations])
+        values = origin_values[origin_cols] * destination_values[destination_cols]
+        if excluded_pairs:
+            mask = np.fromiter(
+                (pair in excluded_pairs for pair in problem.pairs),
+                dtype=bool,
+                count=len(problem.pairs),
+            )
+            values[mask] = 0.0
+        total = values.sum()
+        measured_total = float(sum(origin_totals.values()))
+        if total <= 0:
+            if measured_total > 0:
+                raise EstimationError(
+                    "gravity model produced a zero matrix for non-zero traffic"
+                )
+            return np.zeros(len(problem.pairs))
+        return values * (measured_total / total)
+
+    if excluded_pairs:
+        return compute()
+
+    def cached() -> np.ndarray:
+        values = compute()
+        values.setflags(write=False)
+        return values
+
+    return problem.shared(("gravity_vector",), cached)
 
 
 def gravity_vector_series(
@@ -110,8 +128,23 @@ def gravity_vector_series(
     taken from the totals series when present and fall back to the
     problem-level totals otherwise.  All snapshots are evaluated in a
     handful of array operations — no per-snapshot Python loop — which is
-    what makes the batched gravity/Kruithof/Bayesian paths cheap.
+    what makes the batched gravity/Kruithof/Bayesian paths cheap.  The
+    exclusion-free batch is cached (read-only) in the problem's shared
+    workspace, so a sweep whose methods all use gravity priors builds it
+    once.
     """
+    if not excluded_pairs:
+
+        def cached() -> np.ndarray:
+            values = _gravity_series_uncached(problem, set())
+            values.setflags(write=False)
+            return values
+
+        return problem.shared(("gravity_vector_series",), cached)
+    return _gravity_series_uncached(problem, set(excluded_pairs))
+
+
+def _gravity_series_uncached(problem: EstimationProblem, excluded_pairs: set) -> np.ndarray:
     num_snapshots = problem.series.shape[0]
     pairs = problem.pairs
     excluded_pairs = excluded_pairs or set()

@@ -89,14 +89,10 @@ class KruithofEstimator(Estimator):
                 "Kruithof's method needs origin_totals and destination_totals"
             )
         prior = _resolve_prior(problem, self.prior)
-        origins = list(dict.fromkeys(pair.origin for pair in problem.pairs))
-        destinations = list(dict.fromkeys(pair.destination for pair in problem.pairs))
-        origin_index = {name: i for i, name in enumerate(origins)}
-        destination_index = {name: j for j, name in enumerate(destinations)}
+        origins, destinations, origin_cols, destination_cols = problem.pair_positions()
 
         prior_matrix = np.zeros((len(origins), len(destinations)))
-        for value, pair in zip(prior, problem.pairs):
-            prior_matrix[origin_index[pair.origin], destination_index[pair.destination]] = value
+        prior_matrix[origin_cols, destination_cols] = prior
         row_targets = np.array([problem.origin_totals.get(name, 0.0) for name in origins])
         column_targets = np.array(
             [problem.destination_totals.get(name, 0.0) for name in destinations]
@@ -108,12 +104,7 @@ class KruithofEstimator(Estimator):
             max_iterations=self.max_iterations,
             tolerance=self.tolerance,
         )
-        values = np.array(
-            [
-                fit.values[origin_index[pair.origin], destination_index[pair.destination]]
-                for pair in problem.pairs
-            ]
-        )
+        values = fit.values[origin_cols, destination_cols]
         return self._result(
             problem,
             values,
@@ -182,14 +173,7 @@ class KruithofEstimator(Estimator):
         if priors is None:
             return super().estimate_series(problem)
         num_snapshots = problem.series.shape[0]
-        origins = problem.origin_order()
-        destinations = problem.destination_order()
-        origin_index = {name: i for i, name in enumerate(origins)}
-        destination_index = {name: j for j, name in enumerate(destinations)}
-        row_positions = np.array([origin_index[pair.origin] for pair in problem.pairs])
-        column_positions = np.array(
-            [destination_index[pair.destination] for pair in problem.pairs]
-        )
+        origins, destinations, row_positions, column_positions = problem.pair_positions()
 
         prior_stack = np.zeros((num_snapshots, len(origins), len(destinations)))
         prior_stack[:, row_positions, column_positions] = priors
@@ -240,9 +224,11 @@ class KLProjectionEstimator(Estimator):
     def estimate(self, problem: EstimationProblem) -> EstimationResult:
         """Project the prior onto the link-load constraints."""
         prior = _resolve_prior(problem, self.prior)
+        # ``native`` hands iterative scaling the CSR matrix on sparse
+        # backends, so the projection never densifies the routing matrix.
         fit = generalized_iterative_scaling(
             prior,
-            problem.routing.matrix,
+            problem.routing.native,
             problem.snapshot,
             max_iterations=self.max_iterations,
             tolerance=self.tolerance,

@@ -66,12 +66,26 @@ def make_prior(problem: EstimationProblem, kind: str = "gravity") -> np.ndarray:
 
     ``kind`` is one of ``"uniform"``, ``"gravity"`` or ``"wcb"`` /
     ``"worst-case"``.
+
+    Priors are cached (read-only) in the problem's shared workspace, so
+    the K regularised methods of a sweep sharing one prior kind pay its
+    construction — two LPs per pair for ``"wcb"`` — once per problem, not
+    once per method.
     """
     normalized = kind.lower()
     if normalized == "uniform":
-        return uniform_prior(problem)
-    if normalized == "gravity":
-        return gravity_prior(problem)
-    if normalized in ("wcb", "worst-case", "worst_case_bounds"):
-        return worst_case_bound_prior(problem)
-    raise EstimationError(f"unknown prior kind {kind!r}")
+        builder = uniform_prior
+    elif normalized == "gravity":
+        builder = gravity_prior
+    elif normalized in ("wcb", "worst-case", "worst_case_bounds"):
+        builder = worst_case_bound_prior
+        normalized = "wcb"  # one cache key for every alias spelling
+    else:
+        raise EstimationError(f"unknown prior kind {kind!r}")
+
+    def cached() -> np.ndarray:
+        prior = np.array(builder(problem))
+        prior.setflags(write=False)
+        return prior
+
+    return problem.shared(("prior", normalized), cached)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse
 
 from repro.errors import SolverError
 
@@ -247,12 +248,18 @@ def generalized_iterative_scaling(
         Strictly the starting point and regularisation centre; zero entries
         remain zero.
     routing_matrix:
-        Matrix with entries in [0, 1].
+        Matrix with entries in [0, 1]; a SciPy sparse matrix is accepted
+        and used as-is (the iteration only needs products and column sums),
+        so sparse routing backends never have to densify.
     link_loads:
         Target loads ``t``.
     """
     prior = np.asarray(prior, dtype=float)
-    routing_matrix = np.asarray(routing_matrix, dtype=float)
+    sparse = scipy.sparse.issparse(routing_matrix)
+    if sparse:
+        routing_matrix = scipy.sparse.csr_matrix(routing_matrix, dtype=float)
+    else:
+        routing_matrix = np.asarray(routing_matrix, dtype=float)
     link_loads = np.asarray(link_loads, dtype=float)
     if prior.ndim != 1:
         raise SolverError("prior must be a vector")
@@ -260,12 +267,13 @@ def generalized_iterative_scaling(
         raise SolverError("routing matrix shape inconsistent with prior and link loads")
     if np.any(prior < 0) or np.any(link_loads < -1e-12):
         raise SolverError("prior and link loads must be non-negative")
-    if np.any(routing_matrix < 0) or np.any(routing_matrix > 1 + 1e-12):
+    entries = routing_matrix.data if sparse else routing_matrix
+    if np.any(entries < 0) or np.any(entries > 1 + 1e-12):
         raise SolverError("routing matrix entries must lie in [0, 1]")
 
     values = prior.copy()
     link_loads = np.maximum(link_loads, 0.0)
-    column_weight = routing_matrix.sum(axis=0)
+    column_weight = np.asarray(routing_matrix.sum(axis=0)).ravel().copy()
     column_weight[column_weight == 0] = 1.0
     converged = False
     iterations = 0

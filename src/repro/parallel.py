@@ -1,11 +1,21 @@
 """Shared helpers for the process-pool execution layers.
 
-Both parallel engines — the LP bounds batch
-(:mod:`repro.optimize.linear_program`) and the experiment runners
-(:mod:`repro.evaluation.experiments`) — resolve their ``n_jobs`` parameter
-with the same policy, kept here so the two cannot drift: ``None`` means
-every core, the count is clamped to the number of independent tasks, and
-anything below 1 is an error (raised as the caller's own exception type).
+The parallel engines — the LP bounds batch
+(:mod:`repro.optimize.linear_program`), the experiment runners
+(:mod:`repro.evaluation.experiments`) and the planning failure sweep
+(:mod:`repro.planning.sweep`) — resolve their ``n_jobs`` parameter with the
+same policy, kept here so the engines cannot drift: ``None`` means every
+core, the count is clamped to both the number of independent tasks and the
+number of CPUs actually present, and anything below 1 is an error (raised
+as the caller's own exception type).
+
+The CPU clamp matters: spawning worker processes on a single-core box (or
+asking for more workers than cores for CPU-bound work) pays interpreter
+start-up and pickling for zero concurrency — the BENCH_PR3 record showed a
+parallel run *slower* than serial at ``cpu_count: 1`` for exactly this
+reason.  Every engine skips pool creation entirely whenever the resolved
+job count is 1, so tiny batches and single-core machines always take the
+plain serial loop.
 """
 
 from __future__ import annotations
@@ -21,11 +31,17 @@ def effective_jobs(
     num_tasks: int,
     error: Type[Exception] = ValueError,
 ) -> int:
-    """Worker-process count for ``num_tasks`` independent units of work."""
+    """Worker-process count for ``num_tasks`` independent units of work.
+
+    Returns 1 — meaning *run serially, create no pool* — when there is at
+    most one task or at most one CPU; otherwise the requested ``n_jobs``
+    clamped to ``min(num_tasks, cpu_count)``.
+    """
     if num_tasks <= 1:
         return 1
+    cpus = os.cpu_count() or 1
     if n_jobs is None:
-        n_jobs = os.cpu_count() or 1
+        n_jobs = cpus
     if n_jobs < 1:
         raise error("n_jobs must be at least 1 (or None for auto)")
-    return min(int(n_jobs), num_tasks)
+    return min(int(n_jobs), num_tasks, cpus)

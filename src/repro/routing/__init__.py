@@ -35,11 +35,16 @@ from repro.routing.routing_matrix import (
     build_ecmp_routing_matrix,
     build_routing_matrix,
 )
-from repro.routing.shortest_path import Path, ShortestPathRouter
+from repro.routing.shortest_path import (
+    Path,
+    ShortestPathRouter,
+    single_source_shortest_paths,
+)
 
 __all__ = [
     "Path",
     "ShortestPathRouter",
+    "single_source_shortest_paths",
     "LSP",
     "LSPMesh",
     "ReservationState",

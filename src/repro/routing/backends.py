@@ -99,6 +99,16 @@ class RoutingBackend(abc.ABC):
         """Dense copy of one column."""
 
     @abc.abstractmethod
+    def column_select(self, indices: np.ndarray) -> "RoutingBackend":
+        """A new backend of the same kind holding only the given columns.
+
+        This is the sparse-safe replacement for ``toarray()[:, indices]``:
+        estimators that restrict the problem to a demand subset (entropy's
+        free set, partial-measurement reductions) stay in CSR on sparse
+        backends instead of materialising the dense view.
+        """
+
+    @abc.abstractmethod
     def column_sums(self) -> np.ndarray:
         """Per-column sums (the path length of every pair)."""
 
@@ -156,6 +166,9 @@ class DenseBackend(RoutingBackend):
 
     def column(self, index: int) -> np.ndarray:
         return self._matrix[:, index]
+
+    def column_select(self, indices: np.ndarray) -> "DenseBackend":
+        return DenseBackend(self._matrix[:, np.asarray(indices)])
 
     def column_sums(self) -> np.ndarray:
         return self._matrix.sum(axis=0)
@@ -217,6 +230,9 @@ class SparseBackend(RoutingBackend):
 
     def column(self, index: int) -> np.ndarray:
         return self._matrix.getcol(index).toarray().ravel()
+
+    def column_select(self, indices: np.ndarray) -> "SparseBackend":
+        return SparseBackend(self._matrix[:, np.asarray(indices)])
 
     def column_sums(self) -> np.ndarray:
         return np.asarray(self._matrix.sum(axis=0)).ravel()

@@ -76,6 +76,7 @@ class RoutingMatrix:
         self._link_index = {name: idx for idx, name in enumerate(self.link_names)}
         self._rank: Optional[int] = None
         self._path_lengths: Optional[np.ndarray] = None
+        self._spectral_radius: Optional[float] = None
 
     # ------------------------------------------------------------------
     # backend / storage
@@ -99,6 +100,27 @@ class RoutingMatrix:
         slicing) that genuinely need a dense array.
         """
         return self._backend.toarray()
+
+    @property
+    def native(self) -> Union[np.ndarray, scipy.sparse.csr_matrix]:
+        """The matrix in its native storage: CSR when sparse, ndarray when dense.
+
+        For consumers (LP assembly, iterative scaling) that can work with
+        either representation directly — unlike :attr:`matrix`, this never
+        materialises a dense copy on a sparse backend.
+        """
+        if self._backend.kind == "sparse":
+            return self._backend.raw
+        return self._backend.toarray()
+
+    def select_pairs(self, indices: np.ndarray) -> RoutingBackend:
+        """Backend restricted to the given pair columns (same storage kind).
+
+        The sparse-safe replacement for ``matrix[:, indices]``: estimators
+        that reduce the problem to a demand subset keep CSR storage on
+        sparse backends.
+        """
+        return self._backend.column_select(indices)
 
     def with_backend(self, backend: str) -> "RoutingMatrix":
         """Return a copy of this routing matrix using the given backend."""
@@ -225,6 +247,39 @@ class RoutingMatrix:
         """Whether ``R s = t`` has infinitely many non-negative candidates."""
         return self.rank() < self.num_pairs
 
+    def gram_spectral_radius(self) -> float:
+        """``lambda_max(R'R)`` by operator power iteration (computed once).
+
+        Uses only ``matvec``/``rmatvec`` products — no Gram matrix is
+        formed — with a deterministic start (the path-length direction,
+        which has a non-zero component on the dominant eigenvector of the
+        non-negative ``R'R``) and a 1 % safety inflation so step sizes
+        derived as ``1/L`` stay valid if the iteration stops marginally
+        low.  Cached on the routing matrix, which is shared across every
+        snapshot sub-problem of a series, unlike per-problem caches.
+        """
+        if self._spectral_radius is None:
+            vector = self.path_lengths().astype(float).copy()
+            norm = float(np.linalg.norm(vector))
+            if norm == 0.0:
+                self._spectral_radius = 0.0
+                return self._spectral_radius
+            vector /= norm
+            eigenvalue = 0.0
+            for _ in range(200):
+                product = self.rmatvec(self.matvec(vector))
+                next_eigenvalue = float(np.linalg.norm(product))
+                if next_eigenvalue == 0.0:
+                    self._spectral_radius = 0.0
+                    return self._spectral_radius
+                vector = product / next_eigenvalue
+                if abs(next_eigenvalue - eigenvalue) <= 1e-6 * max(next_eigenvalue, 1e-30):
+                    eigenvalue = next_eigenvalue
+                    break
+                eigenvalue = next_eigenvalue
+            self._spectral_radius = 1.01 * eigenvalue
+        return self._spectral_radius
+
     def path_lengths(self) -> np.ndarray:
         """Per-pair path lengths (column sums; cached, read-only)."""
         if self._path_lengths is None:
@@ -282,15 +337,22 @@ def build_routing_matrix(
     if missing:
         raise RoutingError(f"missing paths for pairs: {[str(p) for p in missing[:5]]}")
 
-    # Assemble in coordinate form: one entry per (link, pair) traversal.
-    rows: list[int] = []
-    cols: list[int] = []
-    for col, pair in enumerate(pairs):
-        for link in paths[pair].links:
-            rows.append(network.link_index(link.name))
-            cols.append(col)
+    # Assemble in coordinate form in one vectorized pass: row indices come
+    # from a single generator sweep over the paths (plain dict lookups, no
+    # per-traversal method calls), column indices from one np.repeat over
+    # the per-pair path lengths.
+    link_index = {name: idx for idx, name in enumerate(network.link_names)}
+    lengths = np.fromiter(
+        (len(paths[pair].links) for pair in pairs), dtype=np.intp, count=len(pairs)
+    )
+    rows = np.fromiter(
+        (link_index[link.name] for pair in pairs for link in paths[pair].links),
+        dtype=np.intp,
+        count=int(lengths.sum()),
+    )
+    cols = np.repeat(np.arange(len(pairs)), lengths)
     coo = scipy.sparse.coo_matrix(
-        (np.ones(len(rows)), (rows, cols)), shape=(network.num_links, len(pairs))
+        (np.ones(rows.size), (rows, cols)), shape=(network.num_links, len(pairs))
     )
     return RoutingMatrix(coo, network.link_names, pairs, network=network, backend=backend)
 

@@ -25,7 +25,12 @@ from repro.errors import RoutingError
 from repro.topology.elements import Link, NodePair
 from repro.topology.network import Network
 
-__all__ = ["Path", "ShortestPathRouter", "constrained_dijkstra"]
+__all__ = [
+    "Path",
+    "ShortestPathRouter",
+    "constrained_dijkstra",
+    "single_source_shortest_paths",
+]
 
 
 @dataclass(frozen=True)
@@ -84,39 +89,33 @@ class Path:
         return len(self.links)
 
 
-def constrained_dijkstra(
+def _dijkstra_sweep(
     network: Network,
-    pair: NodePair,
+    origin: str,
     link_cost: Callable[[Link], float],
-    usable: Optional[Callable[[Link], bool]] = None,
-) -> Optional[Path]:
-    """Deterministic Dijkstra with an optional link filter.
+    usable: Optional[Callable[[Link], bool]],
+    target: Optional[str],
+) -> tuple[dict[str, float], dict[str, tuple[tuple[str, ...], tuple[Link, ...]]]]:
+    """The one Dijkstra relaxation of the routing substrate.
 
-    This is the *single* shortest-path implementation of the routing
-    substrate: :class:`ShortestPathRouter` (IGP),
-    :class:`~repro.routing.cspf.CSPFRouter` (bandwidth admission via
-    ``usable``) and :class:`~repro.routing.incremental.IncrementalRerouter`
-    (failure exclusion via ``usable``) all call it.  Sharing one
-    implementation is what makes incremental reroute provably identical to
-    a from-scratch rebuild: tie-breaking — the lexicographically smallest
-    node sequence among equal-cost paths — cannot drift between callers.
-
-    Returns ``None`` when the destination is unreachable over the usable
-    links (callers decide whether that is an error, a fallback, or an
-    infeasible planning record).
+    Deterministic tie-breaking — the lexicographically smallest node
+    sequence among equal-cost paths, with heap order matching — lives only
+    here, so it cannot drift between the per-pair and the single-source
+    entry points.  ``target`` enables the classic early exit; it cannot
+    change any recorded route because link costs are strictly positive
+    (``Link`` validates this), so once a node is popped no later
+    relaxation can reach it at an equal-or-better cost.
     """
-    best_cost: dict[str, float] = {pair.origin: 0.0}
-    best_route: dict[str, tuple[tuple[str, ...], tuple[Link, ...]]] = {
-        pair.origin: ((pair.origin,), ())
-    }
-    heap: list[tuple[float, tuple[str, ...], str]] = [(0.0, (pair.origin,), pair.origin)]
+    best_cost: dict[str, float] = {origin: 0.0}
+    best_route: dict[str, tuple[tuple[str, ...], tuple[Link, ...]]] = {origin: ((origin,), ())}
+    heap: list[tuple[float, tuple[str, ...], str]] = [(0.0, (origin,), origin)]
     visited: set[str] = set()
     while heap:
         cost, _, node = heapq.heappop(heap)
         if node in visited:
             continue
         visited.add(node)
-        if node == pair.destination:
+        if node == target:
             break
         for link in network.outgoing_links(node):
             if usable is not None and not usable(link):
@@ -136,13 +135,69 @@ def constrained_dijkstra(
                 best_cost[link.target] = next_cost
                 best_route[link.target] = candidate
                 heapq.heappush(heap, (next_cost, candidate[0], link.target))
+    return best_cost, best_route
 
+
+def constrained_dijkstra(
+    network: Network,
+    pair: NodePair,
+    link_cost: Callable[[Link], float],
+    usable: Optional[Callable[[Link], bool]] = None,
+) -> Optional[Path]:
+    """Deterministic Dijkstra with an optional link filter.
+
+    This is the *single* shortest-path implementation of the routing
+    substrate: :class:`ShortestPathRouter` (IGP),
+    :class:`~repro.routing.cspf.CSPFRouter` (bandwidth admission via
+    ``usable``) and :class:`~repro.routing.incremental.IncrementalRerouter`
+    (failure exclusion via ``usable``) all call it, and
+    :func:`single_source_shortest_paths` runs the same sweep without the
+    early exit.  Sharing one implementation (:func:`_dijkstra_sweep`) is
+    what makes incremental reroute provably identical to a from-scratch
+    rebuild and batched routing identical to the per-pair loop:
+    tie-breaking — the lexicographically smallest node sequence among
+    equal-cost paths — cannot drift between callers.
+
+    Returns ``None`` when the destination is unreachable over the usable
+    links (callers decide whether that is an error, a fallback, or an
+    infeasible planning record).
+    """
+    best_cost, best_route = _dijkstra_sweep(
+        network, pair.origin, link_cost, usable, pair.destination
+    )
     if pair.destination not in best_route:
         return None
     nodes, links = best_route[pair.destination]
     if len(nodes) < 2:
         return None
     return Path(pair=pair, nodes=nodes, links=links, cost=best_cost[pair.destination])
+
+
+def single_source_shortest_paths(
+    network: Network,
+    origin: str,
+    link_cost: Callable[[Link], float],
+    usable: Optional[Callable[[Link], bool]] = None,
+) -> dict[str, tuple[tuple[str, ...], tuple[Link, ...], float]]:
+    """One Dijkstra serving every destination reachable from ``origin``.
+
+    Returns ``{destination: (nodes, links, cost)}`` for every node other
+    than ``origin`` that the usable links reach.  This runs the shared
+    :func:`_dijkstra_sweep` with no early-exit target, so the route
+    recorded for each destination is exactly what
+    :func:`constrained_dijkstra` would return for it.
+
+    This is the all-pairs fast path: routing ``N`` origins costs ``N`` full
+    Dijkstras instead of the ``N * (N - 1)`` truncated ones of a per-pair
+    loop, which is what makes 200+-node backbones routable in well under a
+    second.
+    """
+    best_cost, best_route = _dijkstra_sweep(network, origin, link_cost, usable, None)
+    return {
+        node: (nodes, links, best_cost[node])
+        for node, (nodes, links) in best_route.items()
+        if node != origin
+    }
 
 
 class ShortestPathRouter:
@@ -234,8 +289,56 @@ class ShortestPathRouter:
     def route_all(self, pairs: Optional[Sequence[NodePair]] = None) -> dict[NodePair, Path]:
         """Route every pair (default: all pairs of the network).
 
+        Pairs are grouped by origin and served by one single-source
+        Dijkstra each (:func:`single_source_shortest_paths`), so an
+        ``N``-node all-pairs mesh costs ``N`` shortest-path trees instead
+        of ``N * (N - 1)`` per-pair runs.  The paths — node sequences, link
+        sequences and costs — are identical to calling
+        :meth:`shortest_path` per pair (same relaxation, same
+        tie-breaking), which the parity tests pin on every named scenario.
+
         Returns a mapping ordered like the canonical pair enumeration so
         that downstream consumers can build positional structures from it.
+        """
+        if pairs is None:
+            pairs = self.network.node_pairs()
+        by_origin: dict[str, list[NodePair]] = {}
+        for pair in pairs:
+            self.network.node(pair.origin)
+            self.network.node(pair.destination)
+            by_origin.setdefault(pair.origin, []).append(pair)
+        # Origins serving a single requested destination keep the early
+        # exit of the per-pair search; the full tree only pays off when
+        # one origin amortises it over several destinations.
+        trees = {
+            origin: single_source_shortest_paths(self.network, origin, self._link_cost)
+            for origin, origin_pairs in by_origin.items()
+            if len(origin_pairs) > 1
+        }
+        routed: dict[NodePair, Path] = {}
+        for pair in pairs:
+            tree = trees.get(pair.origin)
+            if tree is None:
+                routed[pair] = self.shortest_path(pair)
+                continue
+            route = tree.get(pair.destination)
+            if route is None:
+                raise RoutingError(
+                    f"no path from {pair.origin!r} to {pair.destination!r} "
+                    f"in network {self.network.name!r}"
+                )
+            nodes, links, cost = route
+            routed[pair] = Path(pair=pair, nodes=nodes, links=links, cost=cost)
+        return routed
+
+    def route_all_pairwise(
+        self, pairs: Optional[Sequence[NodePair]] = None
+    ) -> dict[NodePair, Path]:
+        """Legacy per-pair routing loop: one truncated Dijkstra per pair.
+
+        Kept as the reference baseline the batched :meth:`route_all` is
+        benchmarked and parity-tested against; production code should call
+        :meth:`route_all`.
         """
         if pairs is None:
             pairs = self.network.node_pairs()

@@ -226,16 +226,22 @@ class SyntheticTrafficModel:
         self._pair_modulation = self._rng.normal(
             loc=1.0, scale=self.config.fanout_jitter, size=len(pairs)
         ).clip(min=0.0)
+        # The diurnal level depends only on the origin's phase, so each
+        # snapshot needs one profile evaluation per *origin*, scattered to
+        # the pairs through this index array — not one per pair, which is
+        # what makes day generation tractable on large meshes.
+        self._phase_seconds = np.array([self._origin_phase[origin] * 3600.0 for origin in origins])
+        origin_pos = {name: idx for idx, name in enumerate(origins)}
+        self._pair_origin_index = np.fromiter(
+            (origin_pos[pair.origin] for pair in pairs), dtype=np.intp, count=len(pairs)
+        )
 
     # ------------------------------------------------------------------
     def mean_at(self, time_seconds: float) -> np.ndarray:
         """Instantaneous mean demand vector at ``time_seconds``."""
-        pairs = self.base_matrix.pairs
         base = self.base_matrix.vector
-        levels = np.empty(len(pairs))
-        for idx, pair in enumerate(pairs):
-            phase = self._origin_phase[pair.origin] * 3600.0
-            levels[idx] = self.profile.level(time_seconds + phase)
+        origin_levels = np.asarray(self.profile.level(time_seconds + self._phase_seconds))
+        levels = origin_levels[self._pair_origin_index]
         return base * levels * self._pair_modulation
 
     def snapshot_at(self, time_seconds: float) -> TrafficMatrix:

@@ -94,7 +94,12 @@ class TestBatchMatchesPerPairLoop:
         np.testing.assert_allclose(partial.lower, full.lower[subset], atol=1e-8)
         np.testing.assert_allclose(partial.upper, full.upper[subset], atol=1e-8)
 
-    def test_process_pool_matches_in_process(self):
+    def test_process_pool_matches_in_process(self, monkeypatch):
+        # Present at least two cores so the CPU clamp (which keeps
+        # single-core boxes serial) does not bypass the pool under test.
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
         rng = np.random.default_rng(13)
         matrix, rhs = random_routing_system(rng, num_rows=8, num_vars=12)
         serial = bound_variables_batch(range(12), matrix, rhs, n_jobs=1)

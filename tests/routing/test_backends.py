@@ -122,14 +122,18 @@ class TestEstimateParity:
             destination_totals=truth.destination_totals(),
         )
 
-    @pytest.mark.parametrize("method,params", [
-        ("gravity", {}),
-        ("kruithof", {}),
-        ("bayesian", {"regularization": 1000.0, "prior": "gravity"}),
-        ("entropy", {"regularization": 1000.0, "prior": "gravity"}),
+    # The sparse paths no longer densify (they run CSR operator products
+    # end to end), so iterative solvers agree with the dense path to
+    # solver tolerance rather than bit for bit; closed-form methods stay
+    # essentially exact.
+    @pytest.mark.parametrize("method,params,rtol", [
+        ("gravity", {}, 1e-12),
+        ("kruithof", {}, 1e-12),
+        ("bayesian", {"regularization": 1000.0, "prior": "gravity"}, 1e-6),
+        ("entropy", {"regularization": 1000.0, "prior": "gravity"}, 1e-4),
     ])
     def test_estimates_identical_across_backends(
-        self, europe, europe_routing_pair, method, params
+        self, europe, europe_routing_pair, method, params, rtol
     ):
         from repro.estimation import get_estimator
 
@@ -137,7 +141,7 @@ class TestEstimateParity:
         dense_result = get_estimator(method, **params).estimate(self._problem(europe, dense))
         sparse_result = get_estimator(method, **params).estimate(self._problem(europe, sparse))
         np.testing.assert_allclose(
-            dense_result.vector, sparse_result.vector, atol=1e-8
+            dense_result.vector, sparse_result.vector, rtol=rtol, atol=1e-6
         )
 
     def test_worst_case_bounds_identical_across_backends(self, europe, europe_routing_pair):

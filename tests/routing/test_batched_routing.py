@@ -1,0 +1,106 @@
+"""Batched all-pairs routing must be path-for-path identical to per-pair.
+
+``route_all`` now serves every origin with one single-source Dijkstra
+(:func:`repro.routing.single_source_shortest_paths`) instead of one
+truncated Dijkstra per pair.  The relaxation and tie-breaking code is
+shared, so the batched result must match the legacy per-pair loop exactly
+— node sequences, link sequences and costs — on every named scenario
+topology, including under the 'hops' metric where equal-cost ties are
+plentiful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.shortest_path import ShortestPathRouter, single_source_shortest_paths
+from repro.topology.elements import Link, Node, NodePair
+from repro.topology.network import Network
+
+
+def assert_same_paths(batched, legacy):
+    assert set(batched) == set(legacy)
+    for pair, path in batched.items():
+        other = legacy[pair]
+        assert path.nodes == other.nodes, pair
+        assert path.link_names() == other.link_names(), pair
+        assert path.cost == pytest.approx(other.cost, abs=1e-12), pair
+
+
+@pytest.fixture(scope="module", params=["europe", "america", "abilene"])
+def named_network(request):
+    from repro.topology.generators import (
+        abilene_backbone,
+        american_backbone,
+        european_backbone,
+    )
+
+    builders = {
+        "europe": european_backbone,
+        "america": american_backbone,
+        "abilene": abilene_backbone,
+    }
+    return builders[request.param]()
+
+
+class TestBatchedEqualsPairwise:
+    def test_metric_routing_identical(self, named_network):
+        router = ShortestPathRouter(named_network)
+        assert_same_paths(router.route_all(), router.route_all_pairwise())
+
+    def test_hop_routing_identical(self, named_network):
+        # Minimum-hop routing maximises equal-cost ties, stressing the
+        # lexicographic tie-break that both code paths must share.
+        router = ShortestPathRouter(named_network, metric_attribute="hops")
+        assert_same_paths(router.route_all(), router.route_all_pairwise())
+
+    def test_random_backbones_identical(self):
+        from repro.topology.generators import random_backbone
+
+        for seed in (0, 1, 2):
+            network = random_backbone(17, avg_degree=3.4, seed=seed)
+            router = ShortestPathRouter(network)
+            assert_same_paths(router.route_all(), router.route_all_pairwise())
+
+    def test_pair_subset_only_routes_requested(self, named_network):
+        router = ShortestPathRouter(named_network)
+        subset = named_network.node_pairs()[:7]
+        routed = router.route_all(subset)
+        assert tuple(routed) == tuple(subset)
+        assert_same_paths(routed, router.route_all_pairwise(subset))
+
+    def test_unknown_node_rejected(self, named_network):
+        from repro.errors import TopologyError
+
+        router = ShortestPathRouter(named_network)
+        with pytest.raises(TopologyError):
+            router.route_all([NodePair(named_network.node_names[0], "NOPE")])
+
+
+class TestSingleSource:
+    def test_tree_matches_per_destination_dijkstra(self, named_network):
+        router = ShortestPathRouter(named_network)
+        origin = named_network.node_names[0]
+        tree = single_source_shortest_paths(
+            named_network, origin, lambda link: link.metric
+        )
+        assert set(tree) == set(named_network.node_names) - {origin}
+        for destination, (nodes, links, cost) in tree.items():
+            reference = router.shortest_path(NodePair(origin, destination))
+            assert nodes == reference.nodes
+            assert tuple(link.name for link in links) == reference.link_names()
+            assert cost == pytest.approx(reference.cost, abs=1e-12)
+
+    def test_unreachable_destination_missing_and_route_all_raises(self):
+        # B -> A exists but A -> B does not: A cannot reach anything.
+        network = Network("oneway")
+        for name in ("A", "B"):
+            network.add_node(Node(name=name))
+        network.add_link(Link(source="B", target="A", capacity_mbps=1000.0, metric=1.0))
+
+        tree = single_source_shortest_paths(network, "A", lambda link: link.metric)
+        assert tree == {}
+        router = ShortestPathRouter(network)
+        with pytest.raises(RoutingError, match="no path"):
+            router.route_all([NodePair("A", "B")])

@@ -1,0 +1,115 @@
+"""The ``effective_jobs`` policy and the no-pool-on-one-worker guarantee.
+
+BENCH_PR3 recorded ``engine_parallel_seconds > engine_serial_seconds`` at
+``cpu_count: 1``: asking for ``n_jobs=2`` on a single-core box spawned a
+process pool that paid interpreter start-up and pickling for zero
+concurrency.  The fix clamps the resolved job count to the CPU count, and
+every engine skips pool creation entirely when the resolved count is 1 —
+which these tests assert directly by making pool construction an error.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+
+import pytest
+
+from repro.datasets import small_scenario
+from repro.errors import EstimationError
+from repro.parallel import effective_jobs
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return small_scenario(seed=21, num_nodes=5, busy_length=12, num_samples=40)
+
+
+class _ForbiddenPool:
+    """Stands in for ProcessPoolExecutor; instantiating it fails the test."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("a process pool was created for a serial-resolved run")
+
+
+@pytest.fixture
+def forbid_pools(monkeypatch):
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", _ForbiddenPool)
+
+
+@pytest.fixture
+def single_cpu(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+
+class TestEffectiveJobs:
+    def test_single_task_is_always_serial(self):
+        assert effective_jobs(8, 1) == 1
+        assert effective_jobs(None, 0) == 1
+
+    def test_clamped_to_task_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        assert effective_jobs(8, 3) == 3
+
+    def test_clamped_to_cpu_count(self, single_cpu):
+        # The BENCH_PR3 regression: n_jobs=2 on one core must resolve to 1.
+        assert effective_jobs(2, 6) == 1
+
+    def test_none_means_all_cores_up_to_tasks(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert effective_jobs(None, 10) == 4
+        assert effective_jobs(None, 2) == 2
+
+    def test_invalid_n_jobs_raises_callers_error(self):
+        with pytest.raises(EstimationError):
+            effective_jobs(0, 5, error=EstimationError)
+
+    def test_cpu_count_none_treated_as_one(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert effective_jobs(4, 8) == 1
+
+
+class TestNoPoolSpawn:
+    """Engines must not create a process pool when one worker is resolved."""
+
+    def test_run_method_specs_single_core(self, scenario, single_cpu, forbid_pools):
+        from repro.evaluation.experiments import default_method_specs, run_method_specs
+
+        specs = default_method_specs()[:3]
+        records = run_method_specs(scenario, specs, n_jobs=4)
+        assert len(records) == len(specs)
+
+    def test_robustness_sweep_single_core(self, scenario, single_cpu, forbid_pools):
+        from repro.evaluation.experiments import robustness_sweep
+
+        records = robustness_sweep(
+            scenario,
+            jitter_values=(0.0,),
+            loss_values=(0.0, 0.01),
+            methods=("gravity",),
+            seed=3,
+            n_jobs=2,
+        )
+        assert len(records) == 2
+
+    def test_failure_sweep_single_core(self, scenario, single_cpu, forbid_pools):
+        from repro.evaluation.experiments import MethodSpec
+        from repro.planning.sweep import failure_sweep
+
+        records = failure_sweep(
+            scenario, specs=[MethodSpec(label="gravity", estimator="gravity")], n_jobs=8
+        )
+        assert records
+
+    def test_bounds_batch_tiny_batch(self, forbid_pools):
+        # A single-variable batch resolves to one worker regardless of
+        # n_jobs or core count: no pool may be spawned for it.
+        import numpy as np
+
+        from repro.optimize.linear_program import bound_variables_batch
+
+        matrix = np.array([[1.0, 1.0]])
+        rhs = np.array([2.0])
+        result = bound_variables_batch([0], matrix, rhs, n_jobs=4)
+        assert result.lower[0] == pytest.approx(0.0, abs=1e-8)
+        assert result.upper[0] == pytest.approx(2.0, abs=1e-8)

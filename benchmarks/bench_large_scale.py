@@ -20,16 +20,28 @@ backbones of growing size:
   estimator drift is the max relative L2 difference between dense- and
   sparse-backend estimates on Europe).
 
+The PR 6 tier benchmarks **hierarchical region-sharded estimation** at
+continental scale (default N=500, opt-in N=1000 via ``BENCH_PR6_NS``):
+sharded tomogravity against the flat sparse path — wall time, tracemalloc
+peaks proving neither path materialises a dense ``(links, pairs)`` or
+``(pairs, pairs)`` array, sharded-vs-flat accuracy (MRE against the
+synthetic truth), and the csgraph-vs-python batched routing build.  The
+results land in ``BENCH_PR6.json``.
+
 Run directly (CI uses a single small N and a relaxed speedup floor for
 shared runners)::
 
     PYTHONPATH=src python benchmarks/bench_large_scale.py
     PYTHONPATH=src BENCH_PR5_NS=50 BENCH_PR5_MIN_ROUTING_SPEEDUP=3.0 \
         python benchmarks/bench_large_scale.py
+    PYTHONPATH=src BENCH_PR6_ONLY=1 BENCH_PR6_MIN_SPEEDUP=2.0 \
+        python benchmarks/bench_large_scale.py
 """
 
 from __future__ import annotations
 
+import gc
+import hashlib
 import os
 import sys
 import time
@@ -42,6 +54,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from benchrecord import REPO_ROOT, merge_record
 
 RECORD_PATH = REPO_ROOT / "BENCH_PR5.json"
+PR6_RECORD_PATH = REPO_ROOT / "BENCH_PR6.json"
 
 SEED = 2004
 ESTIMATORS = ("gravity", "kruithof", "tomogravity", "entropy", "bayesian")
@@ -186,6 +199,180 @@ def named_scenario_drift() -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# PR 6: hierarchical region-sharded estimation at continental scale
+# ----------------------------------------------------------------------
+
+
+def parse_pr6_ns() -> tuple[int, ...]:
+    raw = os.environ.get("BENCH_PR6_NS", "500")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _route_digest(paths) -> str:
+    """Exact digest of a route table (nodes, links and float costs)."""
+    digest = hashlib.sha256()
+    for pair in sorted(paths, key=lambda p: (p.origin, p.destination)):
+        path = paths[pair]
+        digest.update(
+            repr(
+                (pair.origin, pair.destination, path.nodes, path.link_names(), path.cost)
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def _timed_estimate(estimator, problem) -> tuple[float, float, np.ndarray]:
+    """``(seconds, tracemalloc peak bytes, estimate vector)`` for one run."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    vector = estimator.estimate(problem).vector
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return seconds, float(peak), vector
+
+
+def _mre(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Mean relative error over the top-quartile demands (the paper's focus)."""
+    mask = truth > np.percentile(truth, 75)
+    return float(np.mean(np.abs(estimate[mask] - truth[mask]) / truth[mask]))
+
+
+def sharded_benchmark(n_nodes: int, run_flat: bool) -> dict:
+    from repro.datasets import large_scenario
+    from repro.estimation.registry import get_estimator
+    from repro.routing.shortest_path import ShortestPathRouter
+
+    print(f"[sharded] N={n_nodes}: building scenario ...")
+    start = time.perf_counter()
+    scenario = large_scenario(n_nodes, seed=SEED)
+    build_seconds = time.perf_counter() - start
+    problem = scenario.snapshot_problem()
+    truth = scenario.busy_snapshot(0).vector
+    num_pairs = problem.num_pairs
+    num_links = problem.routing.num_links
+
+    # csgraph-vs-python batched routing on the same topology.  Each engine
+    # is timed on a clean heap — keeping the first run's quarter-million
+    # Path objects alive inflates GC pauses during the second run — so the
+    # parity check compares exact route digests rather than live tables.
+    router_python = ShortestPathRouter(scenario.network, engine="python")
+    router_csgraph = ShortestPathRouter(scenario.network, engine="csgraph")
+    gc.collect()
+    start = time.perf_counter()
+    python_paths = router_python.route_all()
+    routing_python_seconds = time.perf_counter() - start
+    python_digest = _route_digest(python_paths)
+    del python_paths
+    gc.collect()
+    start = time.perf_counter()
+    csgraph_paths = router_csgraph.route_all()
+    routing_csgraph_seconds = time.perf_counter() - start
+    csgraph_digest = _route_digest(csgraph_paths)
+    del csgraph_paths
+    gc.collect()
+    assert csgraph_digest == python_digest, "csgraph routes diverged from python sweep"
+
+    # Memory allowances: neither path may materialise a dense routing-sized
+    # (links, pairs) array nor any (pairs, pairs) array.
+    dense_routing_bytes = float(num_links * num_pairs * 8)
+    pairs_sq_bytes = float(num_pairs) * float(num_pairs) * 8.0
+    allowance = min(dense_routing_bytes, pairs_sq_bytes)
+
+    record = {
+        "num_nodes": n_nodes,
+        "num_links": num_links,
+        "num_pairs": num_pairs,
+        "backend": problem.routing.backend_kind,
+        "scenario_build_seconds": build_seconds,
+        "routing_python_seconds": routing_python_seconds,
+        "routing_csgraph_seconds": routing_csgraph_seconds,
+        "routing_csgraph_paths_identical": True,
+        "dense_routing_bytes": dense_routing_bytes,
+        "pairs_sq_bytes": pairs_sq_bytes,
+        "memory_allowance_bytes": allowance,
+    }
+
+    print(f"[sharded] N={n_nodes}: sharded tomogravity ...")
+    sharded = get_estimator("sharded", base="tomogravity")
+    sharded_seconds, sharded_peak, sharded_vector = _timed_estimate(sharded, problem)
+    assert sharded_peak < allowance, (
+        f"sharded path allocated {sharded_peak / 1e6:.1f} MB at N={n_nodes}, above "
+        f"the dense-array allowance {allowance / 1e6:.1f} MB"
+    )
+    record.update(
+        sharded_seconds=sharded_seconds,
+        sharded_peak_bytes=sharded_peak,
+        sharded_mre=_mre(sharded_vector, truth),
+    )
+    print(
+        f"[sharded] N={n_nodes}: sharded {sharded_seconds:6.2f}s "
+        f"(peak {sharded_peak / 1e6:.0f} MB, MRE {record['sharded_mre']:.3f})"
+    )
+
+    if run_flat:
+        print(f"[sharded] N={n_nodes}: flat tomogravity baseline ...")
+        flat = get_estimator("tomogravity")
+        flat_seconds, flat_peak, flat_vector = _timed_estimate(flat, problem)
+        assert flat_peak < allowance, (
+            f"flat path allocated {flat_peak / 1e6:.1f} MB at N={n_nodes}, above "
+            f"the dense-array allowance {allowance / 1e6:.1f} MB"
+        )
+        scale = max(float(np.linalg.norm(flat_vector)), 1e-12)
+        record.update(
+            flat_seconds=flat_seconds,
+            flat_peak_bytes=flat_peak,
+            flat_mre=_mre(flat_vector, truth),
+            speedup=flat_seconds / sharded_seconds,
+            sharded_vs_flat_relative_l2=float(
+                np.linalg.norm(sharded_vector - flat_vector) / scale
+            ),
+        )
+        print(
+            f"[sharded] N={n_nodes}: flat {flat_seconds:6.2f}s "
+            f"(peak {flat_peak / 1e6:.0f} MB, MRE {record['flat_mre']:.3f})  "
+            f"speedup {record['speedup']:5.1f}x"
+        )
+    return record
+
+
+def main_pr6() -> dict:
+    ns = parse_pr6_ns()
+    minimum_speedup = float(os.environ.get("BENCH_PR6_MIN_SPEEDUP", "5.0"))
+    run_flat = not os.environ.get("BENCH_PR6_SKIP_FLAT")
+    records = [sharded_benchmark(n_nodes, run_flat) for n_nodes in ns]
+    headline = records[0]
+    payload = {
+        "seed": SEED,
+        "ns": list(ns),
+        "records": records,
+        "minimum_speedup": minimum_speedup,
+        "cpu_count": os.cpu_count(),
+        "no_dense_materialisation": True,
+    }
+    if run_flat:
+        payload["headline_speedup"] = headline["speedup"]
+    merge_record(PR6_RECORD_PATH, "hierarchical_sharding", payload)
+
+    if run_flat:
+        assert headline["speedup"] >= minimum_speedup, (
+            f"sharded speedup {headline['speedup']:.1f}x at N={headline['num_nodes']} "
+            f"below the required {minimum_speedup:.1f}x"
+        )
+        assert headline["sharded_peak_bytes"] <= 1.1 * headline["flat_peak_bytes"], (
+            f"sharded peak {headline['sharded_peak_bytes'] / 1e6:.1f} MB above the "
+            f"flat baseline's {headline['flat_peak_bytes'] / 1e6:.1f} MB"
+        )
+        print(
+            f"[sharded] OK (>= {minimum_speedup:.1f}x at N={headline['num_nodes']} at "
+            f"equal-or-better memory), recorded in {PR6_RECORD_PATH.name}"
+        )
+    else:
+        print(f"[sharded] OK (flat baseline skipped), recorded in {PR6_RECORD_PATH.name}")
+    return payload
+
+
 def main() -> dict:
     ns = parse_ns()
     minimum_speedup = float(os.environ.get("BENCH_PR5_MIN_ROUTING_SPEEDUP", "10.0"))
@@ -241,4 +428,7 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    if not os.environ.get("BENCH_PR6_ONLY"):
+        main()
+    if not os.environ.get("BENCH_PR6_SKIP"):
+        main_pr6()

@@ -24,7 +24,11 @@ interface and consumes an :class:`~repro.estimation.base.EstimationProblem`:
 * :mod:`~repro.estimation.partial` — combining tomography with direct
   demand measurements (Section 5.3.6);
 * :class:`~repro.estimation.tomogravity.TomogravityEstimator` — the
-  gravity-prior + regularised-fit pipeline in one call.
+  gravity-prior + regularised-fit pipeline in one call;
+* :class:`~repro.estimation.sharded.ShardedEstimator` — hierarchical
+  region-sharded estimation (coarse inter-region matrix + parallel
+  per-region shards + global reconciliation) for continental-scale
+  backbones.
 
 Every method registers itself by name in :mod:`repro.estimation.registry`
 (``register`` / ``get_estimator`` / ``available_estimators``), so runners
@@ -63,6 +67,7 @@ from repro.estimation.priors import (
     worst_case_bound_prior,
 )
 from repro.estimation.registry import available_estimators, get_estimator, register
+from repro.estimation.sharded import ShardedEstimator
 from repro.estimation.tomogravity import TomogravityEstimator, sweep_regularization
 from repro.estimation.vardi import VardiEstimator, link_load_moments
 from repro.estimation.worstcase import (
@@ -102,6 +107,7 @@ __all__ = [
     "largest_demand_selection",
     "TomogravityEstimator",
     "sweep_regularization",
+    "ShardedEstimator",
     "uniform_prior",
     "gravity_prior",
     "worst_case_bound_prior",

@@ -40,7 +40,13 @@ from repro.datasets.scenarios import Scenario
 from repro.errors import EstimationError, SolverError
 from repro.estimation.registry import get_estimator
 from repro.evaluation.metrics import mean_relative_error
-from repro.parallel import effective_jobs
+from repro.parallel import (
+    effective_jobs,
+    payload_executor,
+    release_payload,
+    resolve_payload,
+    share_payload,
+)
 from repro.traffic.matrix import TrafficMatrix
 
 __all__ = [
@@ -232,21 +238,19 @@ def _evaluate_spec_guarded(
         return None, str(exc)
 
 
-#: Worker-side cache of the shared estimation problems, keyed like the
-#: parent's ``resolve_data`` keys; filled once per worker by the pool
-#: initializer so each problem is pickled per worker, not per spec.
-_SPEC_POOL_PROBLEMS: dict = {}
-
-
-def _spec_pool_initializer(problems: dict) -> None:
-    _SPEC_POOL_PROBLEMS.clear()
-    _SPEC_POOL_PROBLEMS.update(problems)
-
-
 def _evaluate_spec_pooled(
-    spec: MethodSpec, problem_key: Any, prior: Optional[np.ndarray], skip_errors: bool
+    spec: MethodSpec, problems_ref: Any, problem_key: Any, prior: Optional[np.ndarray],
+    skip_errors: bool,
 ) -> tuple[Optional[np.ndarray], str]:
-    return _evaluate_spec_guarded(spec, _SPEC_POOL_PROBLEMS[problem_key], prior, skip_errors)
+    """Pool entry point: the shared problems arrive as a shared-payload ref.
+
+    The problems (each carrying its routing matrix) are registered once via
+    :func:`repro.parallel.share_payload`: fork workers inherit them without
+    pickling anything, spawn workers receive them once per worker through
+    the executor initializer — never once per spec.
+    """
+    problems = resolve_payload(problems_ref)
+    return _evaluate_spec_guarded(spec, problems[problem_key], prior, skip_errors)
 
 
 @dataclass(frozen=True)
@@ -369,43 +373,43 @@ def estimate_method_specs(
                     continue
             results[position] = _evaluate_spec_guarded(spec, problem, prior, skip_errors)
     else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        # Each shared problem ships to every worker exactly once (via the
-        # initializer); waves then submit only the spec, a problem key and
-        # the prior vector.
+        # The shared problems travel as one payload reference: fork workers
+        # inherit them copy-on-write, spawn workers receive them once per
+        # worker; waves then submit only the spec, a problem key and the
+        # prior vector.
         shared_problems = {problem_key(spec): resolve_data(spec)[0] for spec in specs}
+        problems_ref = share_payload(shared_problems)
         pending = list(range(len(specs)))
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_spec_pool_initializer,
-            initargs=(shared_problems,),
-        ) as pool:
-            while pending:
-                wave = [
-                    position
-                    for position in pending
-                    if prior_source.get(position, -1) in results
-                    or position not in prior_source
-                ]
-                futures = {}
-                for position in wave:
-                    prior = None
-                    if position in prior_source:
-                        prior = results[prior_source[position]][0]
-                        if prior is None:
-                            results[position] = skipped_prior(position)
-                            continue
-                    futures[position] = pool.submit(
-                        _evaluate_spec_pooled,
-                        specs[position],
-                        problem_key(specs[position]),
-                        prior,
-                        skip_errors,
-                    )
-                for position, future in futures.items():
-                    results[position] = future.result()
-                pending = [position for position in pending if position not in wave]
+        try:
+            with payload_executor(jobs) as pool:
+                while pending:
+                    wave = [
+                        position
+                        for position in pending
+                        if prior_source.get(position, -1) in results
+                        or position not in prior_source
+                    ]
+                    futures = {}
+                    for position in wave:
+                        prior = None
+                        if position in prior_source:
+                            prior = results[prior_source[position]][0]
+                            if prior is None:
+                                results[position] = skipped_prior(position)
+                                continue
+                        futures[position] = pool.submit(
+                            _evaluate_spec_pooled,
+                            specs[position],
+                            problems_ref,
+                            problem_key(specs[position]),
+                            prior,
+                            skip_errors,
+                        )
+                    for position, future in futures.items():
+                        results[position] = future.result()
+                    pending = [position for position in pending if position not in wave]
+        finally:
+            release_payload(problems_ref)
 
     estimates: list[SpecEstimate] = []
     for position, spec in enumerate(specs):

@@ -2,9 +2,10 @@
 
 The parallel engines — the LP bounds batch
 (:mod:`repro.optimize.linear_program`), the experiment runners
-(:mod:`repro.evaluation.experiments`) and the planning failure sweep
-(:mod:`repro.planning.sweep`) — resolve their ``n_jobs`` parameter with the
-same policy, kept here so the engines cannot drift: ``None`` means every
+(:mod:`repro.evaluation.experiments`), the planning failure sweep
+(:mod:`repro.planning.sweep`) and the sharded estimator
+(:mod:`repro.estimation.sharded`) — resolve their ``n_jobs`` parameter with
+the same policy, kept here so the engines cannot drift: ``None`` means every
 core, the count is clamped to both the number of independent tasks and the
 number of CPUs actually present, and anything below 1 is an error (raised
 as the caller's own exception type).
@@ -16,14 +17,43 @@ parallel run *slower* than serial at ``cpu_count: 1`` for exactly this
 reason.  Every engine skips pool creation entirely whenever the resolved
 job count is 1, so tiny batches and single-core machines always take the
 plain serial loop.
+
+The second half of this module is the **shared-payload** machinery: a way
+to hand large read-only objects (routing matrices, what-if engines, method
+estimates) to pool workers without pickling them into every task — and,
+on fork-capable platforms, without pickling them at all.  A payload is
+registered once in the parent with :func:`share_payload`, which returns a
+tiny :class:`PayloadRef` token.  Tasks ship the token; workers call
+:func:`resolve_payload` to get the object back:
+
+* with the ``fork`` start method (Linux default) the child process
+  inherits the parent's payload registry through copy-on-write memory, so
+  the object is never serialised;
+* with ``spawn``/``forkserver`` the :func:`payload_executor` initializer
+  re-registers the payloads in each worker — one pickle per worker, never
+  per task, matching the initializer pattern the engines used before.
+
+Either way the worker operates on an exact copy of the parent object, so
+serial and parallel runs produce identical records.
 """
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
 import os
-from typing import Optional, Type
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional, Type
 
-__all__ = ["effective_jobs"]
+__all__ = [
+    "effective_jobs",
+    "PayloadRef",
+    "share_payload",
+    "resolve_payload",
+    "release_payload",
+    "payload_executor",
+]
 
 
 def effective_jobs(
@@ -45,3 +75,87 @@ def effective_jobs(
     if n_jobs < 1:
         raise error("n_jobs must be at least 1 (or None for auto)")
     return min(int(n_jobs), num_tasks, cpus)
+
+
+# ----------------------------------------------------------------------
+# shared payloads
+# ----------------------------------------------------------------------
+
+#: Parent-side (and, after fork, worker-side) payload registry.  Fork
+#: children see it through copy-on-write inheritance; spawn workers get it
+#: refilled by the :func:`payload_executor` initializer.
+_PAYLOADS: dict[int, Any] = {}
+_TOKEN_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class PayloadRef:
+    """Cheap, picklable handle to an object registered with :func:`share_payload`.
+
+    The reference is just an integer token; passing it through a pool task
+    costs a few bytes regardless of how large the payload is.
+    """
+
+    token: int
+
+
+def share_payload(obj: Any) -> PayloadRef:
+    """Register ``obj`` for zero-copy access from pool workers.
+
+    Returns a :class:`PayloadRef` to ship in task arguments.  Call
+    :func:`release_payload` when the pool work is done so the parent does
+    not pin the object for the rest of the process lifetime.
+    """
+    token = next(_TOKEN_COUNTER)
+    _PAYLOADS[token] = obj
+    return PayloadRef(token)
+
+
+def resolve_payload(ref: Any) -> Any:
+    """Return the object behind ``ref``; non-references pass through unchanged.
+
+    Passing values through makes call sites polymorphic: a helper that
+    accepts either a payload reference or the object itself can resolve
+    unconditionally.
+    """
+    if not isinstance(ref, PayloadRef):
+        return ref
+    try:
+        return _PAYLOADS[ref.token]
+    except KeyError:
+        raise RuntimeError(
+            f"payload {ref.token} is not registered in this process; "
+            "create the pool with payload_executor() after share_payload(), "
+            "or resolve in the parent process"
+        ) from None
+
+
+def release_payload(ref: PayloadRef) -> None:
+    """Drop a shared payload from the registry (idempotent)."""
+    _PAYLOADS.pop(ref.token, None)
+
+
+def _payload_initializer(payloads: dict[int, Any]) -> None:
+    """Spawn-mode worker initializer: refill the registry once per worker."""
+    _PAYLOADS.update(payloads)
+
+
+def payload_executor(max_workers: int) -> ProcessPoolExecutor:
+    """A :class:`~concurrent.futures.ProcessPoolExecutor` that sees shared payloads.
+
+    On platforms whose default start method is ``fork`` the workers inherit
+    the registry through copy-on-write memory and nothing is pickled.
+    Elsewhere the current registry is shipped to each worker exactly once
+    via the pool initializer — the same per-worker (not per-task) cost the
+    engines paid with their bespoke initializers before this helper
+    existed.
+    """
+    method = multiprocessing.get_start_method(allow_none=False)
+    if method == "fork":
+        context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+    return ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_payload_initializer,
+        initargs=(dict(_PAYLOADS),),
+    )

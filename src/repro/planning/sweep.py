@@ -17,9 +17,10 @@ runner uses) it
    error, and the congestion-set confusion counts.
 
 Failure cases are independent units of work, so ``n_jobs`` fans them over a
-process pool (the engine and the estimates ship to each worker once, via
-the pool initializer); serial and parallel runs produce identical records
-in identical order.  Cases that partition the network yield structured
+process pool; the engine and the estimates travel as a shared payload
+(:func:`repro.parallel.share_payload`) — inherited copy-on-write by fork
+workers, shipped once per worker elsewhere, never pickled per case — and
+serial and parallel runs produce identical records in identical order.  Cases that partition the network yield structured
 ``feasible=False`` records — never an exception — and the aggregation
 (:func:`planning_summary_table`) reports them separately instead of mixing
 their truncated utilisations into the error statistics.
@@ -40,7 +41,13 @@ from repro.evaluation.experiments import (
     default_method_specs,
     estimate_method_specs,
 )
-from repro.parallel import effective_jobs
+from repro.parallel import (
+    effective_jobs,
+    payload_executor,
+    release_payload,
+    resolve_payload,
+    share_payload,
+)
 from repro.planning.failures import FailureCase, enumerate_failures
 from repro.planning.projection import LoadProjection
 from repro.planning.whatif import WhatIfEngine
@@ -188,26 +195,17 @@ def _evaluate_case(
     return records
 
 
-#: Worker-side sweep state (engine, estimates, growth, scenario name), shipped
-#: once per worker by the pool initializer instead of once per case.
-_SWEEP_STATE: dict = {}
+def _evaluate_case_pooled(case: FailureCase, state_ref) -> list[PlanningRecord]:
+    """Pool entry point: the sweep state arrives as a shared-payload ref.
 
-
-def _sweep_pool_initializer(engine, scenario_name, estimates, growth) -> None:
-    _SWEEP_STATE["engine"] = engine
-    _SWEEP_STATE["scenario_name"] = scenario_name
-    _SWEEP_STATE["estimates"] = estimates
-    _SWEEP_STATE["growth"] = growth
-
-
-def _evaluate_case_pooled(case: FailureCase) -> list[PlanningRecord]:
-    return _evaluate_case(
-        case,
-        _SWEEP_STATE["engine"],
-        _SWEEP_STATE["scenario_name"],
-        _SWEEP_STATE["estimates"],
-        _SWEEP_STATE["growth"],
-    )
+    The engine (with its routing matrix), the estimates and the growth
+    factor are registered once via :func:`repro.parallel.share_payload`;
+    fork workers inherit them without any pickling, spawn workers receive
+    them once per worker through the executor initializer — never once per
+    case.
+    """
+    engine, scenario_name, estimates, growth = resolve_payload(state_ref)
+    return _evaluate_case(case, engine, scenario_name, estimates, growth)
 
 
 def failure_sweep(
@@ -278,17 +276,22 @@ def failure_sweep(
             _evaluate_case(case, engine, scenario.name, estimates, growth) for case in cases
         ]
     else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_sweep_pool_initializer,
-            initargs=(engine, scenario.name, estimates, growth),
-        ) as pool:
-            # Cases are small units of work; chunking keeps the pool's
-            # message overhead negligible while preserving case order.
-            chunksize = max(1, len(cases) // (jobs * 4))
-            case_records = list(pool.map(_evaluate_case_pooled, cases, chunksize=chunksize))
+        state_ref = share_payload((engine, scenario.name, estimates, growth))
+        try:
+            with payload_executor(jobs) as pool:
+                # Cases are small units of work; chunking keeps the pool's
+                # message overhead negligible while preserving case order.
+                chunksize = max(1, len(cases) // (jobs * 4))
+                case_records = list(
+                    pool.map(
+                        _evaluate_case_pooled,
+                        cases,
+                        [state_ref] * len(cases),
+                        chunksize=chunksize,
+                    )
+                )
+        finally:
+            release_payload(state_ref)
     return [record for case in case_records for record in case]
 
 

@@ -18,6 +18,7 @@ needs.
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
 
@@ -31,6 +32,15 @@ __all__ = [
     "constrained_dijkstra",
     "single_source_shortest_paths",
 ]
+
+#: Below this many nodes the pure-python sweep wins (no csgraph call
+#: overhead, no reconstruction pass); ``engine="auto"`` only batches
+#: through scipy at or above it.
+_CSGRAPH_MIN_NODES = 64
+
+#: Cost tolerance shared with :func:`_dijkstra_sweep`: paths within this
+#: of the optimum count as equal cost for tie-breaking purposes.
+_TIE_TOLERANCE = 1e-12
 
 
 @dataclass(frozen=True)
@@ -200,6 +210,148 @@ def single_source_shortest_paths(
     }
 
 
+def _load_csgraph():
+    """Import hook for :mod:`scipy.sparse.csgraph` (monkeypatchable).
+
+    Kept as a module-level seam so tests can force the python fallback by
+    patching it to raise, and so a scipy build missing the feature degrades
+    gracefully instead of crashing ``route_all``.
+    """
+    from scipy.sparse import csgraph
+
+    if not hasattr(csgraph, "dijkstra"):
+        raise ImportError("scipy.sparse.csgraph has no dijkstra")
+    return csgraph
+
+
+def _csgraph_trees(
+    network: Network,
+    origins: Sequence[str],
+    link_cost: Callable[[Link], float],
+) -> dict[str, dict[str, tuple[tuple[str, ...], tuple[Link, ...], float]]]:
+    """Batched shortest-path trees via one vectorised csgraph Dijkstra.
+
+    Computes all origin rows of the distance matrix in a single
+    ``scipy.sparse.csgraph.dijkstra`` call over the network's adjacency
+    CSR, then reconstructs, per origin, exactly the routes the python
+    sweep would record: among equal-cost paths the lexicographically
+    smallest node sequence, and among parallel equal-cost links the first
+    in insertion order.  Returns ``{origin: {destination: (nodes, links,
+    cost)}}`` in the same shape as :func:`single_source_shortest_paths`.
+
+    Raises :class:`~repro.errors.RoutingError` when reconstruction cannot
+    reproduce the distances (e.g. a scipy build whose tie handling
+    diverges); callers treat that as "fall back to the python sweep".
+    """
+    csgraph = _load_csgraph()
+    import numpy as np
+    from scipy import sparse
+
+    names = network.node_names
+    index = {name: position for position, name in enumerate(names)}
+    num_nodes = len(names)
+
+    # Incoming-edge lists in link insertion order (drives the
+    # parallel-link tie-break) plus the min-cost adjacency used for the
+    # distance computation.
+    incoming: list[list[tuple[int, Link, float]]] = [[] for _ in range(num_nodes)]
+    best_weight: dict[tuple[int, int], float] = {}
+    for link in network.links:
+        source = index[link.source]
+        target = index[link.target]
+        weight = link_cost(link)
+        if not weight > 0.0:
+            raise RoutingError(
+                f"link {link.name!r} has non-positive cost {weight!r}; "
+                "csgraph routing requires strictly positive costs"
+            )
+        incoming[target].append((source, link, weight))
+        key = (source, target)
+        if key not in best_weight or weight < best_weight[key]:
+            best_weight[key] = weight
+    if best_weight:
+        rows, cols = zip(*best_weight.keys())
+        data = [best_weight[key] for key in best_weight]
+    else:
+        rows, cols, data = (), (), ()
+    adjacency = sparse.csr_matrix(
+        (np.asarray(data, dtype=np.float64), (rows, cols)),
+        shape=(num_nodes, num_nodes),
+    )
+
+    origin_indices = [index[origin] for origin in origins]
+    distances = np.atleast_2d(
+        csgraph.dijkstra(adjacency, directed=True, indices=origin_indices)
+    )
+    return {
+        origin: _reconstruct_tree(names, incoming, index[origin], distances[row])
+        for row, origin in enumerate(origins)
+    }
+
+
+def _reconstruct_tree(
+    names: Sequence[str],
+    incoming: Sequence[Sequence[tuple[int, Link, float]]],
+    origin_index: int,
+    distances,
+) -> dict[str, tuple[tuple[str, ...], tuple[Link, ...], float]]:
+    """Rebuild the deterministic route tree from one distance row.
+
+    Nodes are processed in increasing distance order, so every optimal
+    predecessor (``|d[u] + w - d[v]| <= tol`` with ``w > tol``) already has
+    its route when ``v`` is reached; among them the lexicographically
+    smallest full candidate sequence (predecessor route plus ``v``) wins,
+    matching :func:`_dijkstra_sweep` exactly.  The comparison must append
+    ``v`` before comparing — a predecessor route that is a proper prefix
+    of another sorts first on its own but not necessarily once ``v`` is
+    appended.  Costs are re-accumulated link by link along the chosen
+    chain so the floats are bit-identical to the python sweep's running
+    sums.
+    """
+    import numpy as np
+
+    routes: dict[int, tuple[tuple[str, ...], tuple[Link, ...]]] = {
+        origin_index: ((names[origin_index],), ())
+    }
+    costs: dict[int, float] = {origin_index: 0.0}
+    for position in np.argsort(distances, kind="stable"):
+        node = int(position)
+        distance = distances[node]
+        if not np.isfinite(distance):
+            break
+        if node == origin_index:
+            continue
+        name = names[node]
+        chosen_nodes: Optional[tuple[str, ...]] = None
+        chosen_links: Optional[tuple[Link, ...]] = None
+        chosen_source: Optional[int] = None
+        chosen_weight = 0.0
+        for source, link, weight in incoming[node]:
+            if abs(distances[source] + weight - distance) > _TIE_TOLERANCE:
+                continue
+            route = routes.get(source)
+            if route is None:
+                continue
+            candidate = route[0] + (name,)
+            if chosen_nodes is None or candidate < chosen_nodes:
+                chosen_nodes = candidate
+                chosen_links = route[1] + (link,)
+                chosen_source = source
+                chosen_weight = weight
+        if chosen_nodes is None or chosen_links is None or chosen_source is None:
+            raise RoutingError(
+                f"csgraph distance for node {name!r} has no optimal "
+                "predecessor; tie tolerance diverged from the python sweep"
+            )
+        routes[node] = (chosen_nodes, chosen_links)
+        costs[node] = costs[chosen_source] + chosen_weight
+    return {
+        names[node]: (nodes, links, costs[node])
+        for node, (nodes, links) in routes.items()
+        if node != origin_index
+    }
+
+
 class ShortestPathRouter:
     """Dijkstra single-path and ECMP routing on link metrics.
 
@@ -210,6 +362,15 @@ class ShortestPathRouter:
     metric_attribute:
         Which link attribute to minimise; ``"metric"`` (default) gives IGP
         routing, ``"hops"`` gives minimum-hop routing.
+    engine:
+        Batched-routing backend for :meth:`route_all`: ``"auto"``
+        (default) uses the vectorised :mod:`scipy.sparse.csgraph` path on
+        networks of :data:`_CSGRAPH_MIN_NODES` or more nodes, ``"csgraph"``
+        forces it, ``"python"`` forces the pure-python sweep.  Whatever the
+        engine, the routes are identical — the csgraph path reconstructs
+        the same tie-breaking and falls back to the python sweep (with a
+        warning) if scipy is missing the feature or its distances cannot
+        be reconciled.
 
     Notes
     -----
@@ -219,18 +380,36 @@ class ShortestPathRouter:
     estimation benchmarks.
     """
 
-    def __init__(self, network: Network, metric_attribute: str = "metric") -> None:
+    def __init__(
+        self,
+        network: Network,
+        metric_attribute: str = "metric",
+        engine: str = "auto",
+    ) -> None:
         if metric_attribute not in ("metric", "hops"):
             raise RoutingError(
                 f"unsupported metric attribute {metric_attribute!r}; "
                 "expected 'metric' or 'hops'"
             )
+        if engine not in ("auto", "csgraph", "python"):
+            raise RoutingError(
+                f"unsupported routing engine {engine!r}; "
+                "expected 'auto', 'csgraph' or 'python'"
+            )
         self.network = network
         self.metric_attribute = metric_attribute
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def _link_cost(self, link: Link) -> float:
         return 1.0 if self.metric_attribute == "hops" else link.metric
+
+    def _use_csgraph(self) -> bool:
+        if self.engine == "python":
+            return False
+        if self.engine == "csgraph":
+            return True
+        return self.network.num_nodes >= _CSGRAPH_MIN_NODES
 
     def shortest_path(self, pair: NodePair) -> Path:
         """Return the single shortest path for ``pair``.
@@ -310,11 +489,26 @@ class ShortestPathRouter:
         # Origins serving a single requested destination keep the early
         # exit of the per-pair search; the full tree only pays off when
         # one origin amortises it over several destinations.
-        trees = {
-            origin: single_source_shortest_paths(self.network, origin, self._link_cost)
-            for origin, origin_pairs in by_origin.items()
-            if len(origin_pairs) > 1
-        }
+        tree_origins = [
+            origin for origin, origin_pairs in by_origin.items() if len(origin_pairs) > 1
+        ]
+        trees: Optional[dict[str, dict[str, tuple[tuple[str, ...], tuple[Link, ...], float]]]]
+        trees = None
+        if tree_origins and self._use_csgraph():
+            try:
+                trees = _csgraph_trees(self.network, tree_origins, self._link_cost)
+            except (ImportError, AttributeError, RoutingError) as exc:
+                warnings.warn(
+                    f"csgraph routing unavailable ({exc}); "
+                    "falling back to the python Dijkstra sweep",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if trees is None:
+            trees = {
+                origin: single_source_shortest_paths(self.network, origin, self._link_cost)
+                for origin in tree_origins
+            }
         routed: dict[NodePair, Path] = {}
         for pair in pairs:
             tree = trees.get(pair.origin)

@@ -246,9 +246,24 @@ class Network:
                 f"network {self.name!r} needs at least two edge nodes, "
                 f"got {len(self.edge_nodes)}"
             )
+        # The pair enumeration contains both directions of every edge-node
+        # pair, so routability of all pairs is exactly "all edge nodes lie
+        # in one strongly connected component" — one SCC sweep instead of
+        # the quadratic per-pair has_path loop (which dominated topology
+        # generation beyond a few hundred nodes).
         graph = self.to_networkx()
-        for pair in self.node_pairs():
-            if not nx.has_path(graph, pair.origin, pair.destination):
+        component_of: dict[str, int] = {}
+        for index, component in enumerate(nx.strongly_connected_components(graph)):
+            for node_name in component:
+                component_of[node_name] = index
+        edge_names = [node.name for node in self.edge_nodes]
+        anchor = edge_names[0]
+        for other in edge_names[1:]:
+            if component_of[other] != component_of[anchor]:
+                # Name one unroutable demand, matching the historical error.
+                pair = NodePair(anchor, other)
+                if nx.has_path(graph, anchor, other):
+                    pair = NodePair(other, anchor)
                 raise TopologyError(
                     f"network {self.name!r} has no path for demand {pair}"
                 )

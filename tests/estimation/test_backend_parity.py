@@ -32,6 +32,7 @@ METHOD_RTOL = {
     "kl-projection": 1e-4,
     "vardi": 1e-3,
     "cao": 1e-4,
+    "sharded": 2e-3,
 }
 DEFAULT_RTOL = 1e-9
 

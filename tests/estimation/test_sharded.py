@@ -1,0 +1,205 @@
+"""The hierarchical region-sharded estimator.
+
+The contract under test:
+
+* **degenerate exactness** — on a network whose nodes all share one region
+  label (the paper's own extracted subnetworks), sharding is a no-op and
+  the result equals the base estimator's, bit for bit;
+* **bounded divergence** — multi-region sharding on the named scenarios
+  stays in the same accuracy band as the flat solve (the approximation is
+  confined to the inter-region block);
+* **observation consistency** — the reconciliation pass makes the stitched
+  matrix respect the *global* link loads, not just each shard's;
+* **composability** — the estimator is a registry citizen: constructible
+  by name, usable by ``Scenario.sweep``, accepting any registered method
+  as shard solver, and fanning shard solves through the shared-payload
+  pool without changing results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import america_scenario, europe_scenario, small_scenario
+from repro.estimation import ShardedEstimator, available_estimators, get_estimator
+from repro.estimation.sharded import _solve_shard_pooled
+from repro.parallel import release_payload, share_payload
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.topology.regions import partition_regions
+
+
+@pytest.fixture(scope="module")
+def europe():
+    scenario = europe_scenario()
+    return scenario, scenario.snapshot_problem(), scenario.busy_snapshot(0).vector
+
+
+@pytest.fixture(scope="module")
+def america():
+    scenario = america_scenario()
+    return scenario, scenario.snapshot_problem(), scenario.busy_snapshot(0).vector
+
+
+def top_quartile_mre(estimate, truth):
+    mask = truth > np.percentile(truth, 75)
+    return float(np.mean(np.abs(estimate[mask] - truth[mask]) / truth[mask]))
+
+
+def test_registered_by_name():
+    assert "sharded" in available_estimators()
+    estimator = get_estimator("sharded", base="gravity", num_regions=2)
+    assert isinstance(estimator, ShardedEstimator)
+
+
+def test_single_region_labels_give_exact_base_parity(europe):
+    _, problem, _ = europe
+    flat = get_estimator("tomogravity").estimate(problem)
+    sharded = get_estimator("sharded", base="tomogravity").estimate(problem)
+    np.testing.assert_allclose(sharded.vector, flat.vector)
+    assert sharded.method == "sharded"
+    assert sharded.diagnostics["num_regions"] == 1
+
+
+@pytest.mark.parametrize("fixture_name", ["europe", "america"])
+def test_multi_region_accuracy_stays_in_flat_band(fixture_name, request):
+    _, problem, truth = request.getfixturevalue(fixture_name)
+    flat = get_estimator("tomogravity").estimate(problem)
+    sharded = get_estimator("sharded", base="tomogravity", num_regions=3).estimate(problem)
+    assert sharded.diagnostics["num_regions"] == 3
+    flat_mre = top_quartile_mre(flat.vector, truth)
+    sharded_mre = top_quartile_mre(sharded.vector, truth)
+    # Sharding is an approximation; it must not fall off a cliff relative
+    # to the flat solve on the paper's scenarios.
+    assert sharded_mre <= flat_mre + 0.25
+
+
+@pytest.mark.parametrize("fixture_name", ["europe", "america"])
+def test_reconciliation_respects_global_link_loads(fixture_name, request):
+    _, problem, _ = request.getfixturevalue(fixture_name)
+    result = get_estimator("sharded", base="tomogravity", num_regions=3).estimate(problem)
+    assert result.diagnostics["reconcile_converged"]
+    residual = np.abs(problem.routing.link_loads(result.vector) - problem.snapshot)
+    assert residual.max() <= 1e-4 * problem.snapshot.max()
+
+
+def test_reconciliation_can_be_disabled(europe):
+    _, problem, _ = europe
+    result = get_estimator(
+        "sharded", base="gravity", num_regions=2, reconcile=False
+    ).estimate(problem)
+    assert "reconcile_violation" not in result.diagnostics
+
+
+def test_custom_partitioner_callable(europe):
+    _, problem, _ = europe
+    calls = []
+
+    def partitioner(network):
+        calls.append(network.name)
+        return partition_regions(network, 2, seed=7)
+
+    result = ShardedEstimator(base="gravity", partitioner=partitioner).estimate(problem)
+    assert calls  # the callable drove the partition
+    assert result.diagnostics["num_regions"] == 2
+
+
+def test_incomplete_partitioner_rejected(europe):
+    from repro.errors import EstimationError
+
+    _, problem, _ = europe
+    estimator = ShardedEstimator(
+        base="gravity", partitioner=lambda network: {network.node_names[0]: "R00"}
+    )
+    with pytest.raises(EstimationError, match="unassigned"):
+        estimator.estimate(problem)
+
+
+def test_any_registered_base_method_works(europe):
+    _, problem, _ = europe
+    for base in ("gravity", "kruithof"):
+        result = get_estimator("sharded", base=base, num_regions=2).estimate(problem)
+        assert result.vector.shape == (problem.num_pairs,)
+        assert result.diagnostics["base_method"] in (base,)
+
+
+def test_base_instance_and_params_are_exclusive():
+    from repro.errors import EstimationError
+
+    with pytest.raises(EstimationError):
+        ShardedEstimator(base=get_estimator("gravity"), base_params={"x": 1})
+
+
+def test_no_network_routing_falls_back_to_flat(europe):
+    _, problem, _ = europe
+    detached = RoutingMatrix(
+        problem.routing.native,
+        link_names=problem.routing.link_names,
+        pairs=problem.routing.pairs,
+        network=None,
+    )
+    import dataclasses
+
+    stripped = dataclasses.replace(problem, routing=detached)
+    flat = get_estimator("tomogravity").estimate(stripped)
+    sharded = get_estimator("sharded", base="tomogravity").estimate(stripped)
+    np.testing.assert_allclose(sharded.vector, flat.vector)
+    assert sharded.diagnostics["sharding"] == "no-network"
+
+
+def test_scenario_sweep_round_trip():
+    scenario = small_scenario(seed=9, num_nodes=6, busy_length=6, num_samples=12)
+    records = scenario.sweep(
+        methods=[("sharded", {"base": "gravity", "num_regions": 2})],
+        window_length=4,
+        skip_errors=False,
+    )
+    assert len(records) == 1
+    assert records[0].method == "sharded"
+    assert not records[0].skipped
+
+
+def test_estimate_series_matches_per_snapshot_loop(europe):
+    scenario, _, _ = europe
+    problem = scenario.series_problem(window_length=4)
+    estimator = get_estimator("sharded", base="gravity", num_regions=2)
+    batched = estimator.estimate_series(problem)
+    for index in range(4):
+        single = estimator.estimate(problem.at_snapshot(index))
+        np.testing.assert_allclose(batched.estimates[index], single.vector)
+
+
+def test_shard_pool_worker_matches_direct_solve(europe):
+    _, problem, _ = europe
+    estimator = ShardedEstimator(base="gravity", num_regions=2)
+    region_of = estimator._resolve_regions(problem.routing.network)
+    regions, origin_region, destination_region = estimator._pair_regions(
+        problem, region_of
+    )
+    intra_mask = origin_region == destination_region
+    intra_cols = {
+        region: np.flatnonzero(intra_mask & (origin_region == position))
+        for position, region in enumerate(regions)
+    }
+    prior = estimator._prior_vector(problem)
+    _, problems, priors = estimator._shard_problems(
+        problem, region_of, intra_cols, prior, prior
+    )
+    assert problems
+    payload_ref = share_payload((estimator._base, problems, priors))
+    try:
+        index, vector = _solve_shard_pooled(0, payload_ref)
+    finally:
+        release_payload(payload_ref)
+    assert index == 0
+    np.testing.assert_allclose(vector, estimator._base.estimate(problems[0]).vector)
+
+
+def test_parallel_shard_solves_match_serial(europe, monkeypatch):
+    import os
+
+    _, problem, _ = europe
+    serial = ShardedEstimator(base="gravity", num_regions=3, n_jobs=1).estimate(problem)
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    parallel = ShardedEstimator(base="gravity", num_regions=3, n_jobs=2).estimate(problem)
+    np.testing.assert_allclose(parallel.vector, serial.vector)

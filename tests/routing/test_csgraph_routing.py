@@ -1,0 +1,125 @@
+"""The vectorised csgraph routing engine: parity, thresholds and fallback.
+
+``ShortestPathRouter(engine="csgraph")`` computes all shortest-path trees
+through one batched :func:`scipy.sparse.csgraph.dijkstra` call and then
+reconstructs the deterministic routes.  These tests pin the contract that
+makes the engine a performance knob rather than a different router:
+
+* route-for-route identity with the pure-python sweep — node sequences,
+  link sequences *and* accumulated float costs — on the named scenarios,
+  random backbones and both metric modes (lexicographic and parallel-link
+  tie-breaking included);
+* the ``"auto"`` engine picks csgraph only at batch-worthy sizes;
+* a scipy missing the feature, or distances the reconstruction cannot
+  reconcile, fall back to the python sweep with a warning and identical
+  results.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.routing.shortest_path as shortest_path_module
+from repro.errors import RoutingError
+from repro.routing.shortest_path import _CSGRAPH_MIN_NODES, ShortestPathRouter
+from repro.topology.generators import (
+    abilene_backbone,
+    american_backbone,
+    european_backbone,
+    random_backbone,
+)
+
+NAMED_BUILDERS = {
+    "europe": european_backbone,
+    "america": american_backbone,
+    "abilene": abilene_backbone,
+}
+
+
+def assert_identical_routes(actual, expected):
+    assert set(actual) == set(expected)
+    for pair, path in actual.items():
+        other = expected[pair]
+        assert path.nodes == other.nodes, pair
+        assert path.link_names() == other.link_names(), pair
+        assert path.cost == other.cost, pair
+
+
+@pytest.mark.parametrize("metric", ["metric", "hops"])
+@pytest.mark.parametrize("name", sorted(NAMED_BUILDERS))
+def test_csgraph_matches_python_on_named_networks(name, metric):
+    network = NAMED_BUILDERS[name]()
+    python = ShortestPathRouter(network, metric, engine="python").route_all()
+    csgraph = ShortestPathRouter(network, metric, engine="csgraph").route_all()
+    assert_identical_routes(csgraph, python)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_csgraph_matches_python_on_random_backbones(seed):
+    network = random_backbone(40, avg_degree=3.0, seed=seed, name=f"rand-{seed}")
+    for metric in ("metric", "hops"):
+        python = ShortestPathRouter(network, metric, engine="python").route_all()
+        csgraph = ShortestPathRouter(network, metric, engine="csgraph").route_all()
+        assert_identical_routes(csgraph, python)
+
+
+def test_csgraph_matches_python_on_pair_subsets():
+    network = american_backbone()
+    pairs = network.node_pairs()[:40]
+    python = ShortestPathRouter(network, engine="python").route_all(pairs)
+    csgraph = ShortestPathRouter(network, engine="csgraph").route_all(pairs)
+    assert_identical_routes(csgraph, python)
+
+
+def test_auto_engine_uses_size_threshold():
+    small = european_backbone()
+    assert not ShortestPathRouter(small)._use_csgraph()
+    assert ShortestPathRouter(small, engine="csgraph")._use_csgraph()
+    large = random_backbone(_CSGRAPH_MIN_NODES, avg_degree=3.0, seed=1)
+    assert ShortestPathRouter(large)._use_csgraph()
+    assert not ShortestPathRouter(large, engine="python")._use_csgraph()
+
+
+def test_invalid_engine_rejected():
+    with pytest.raises(RoutingError):
+        ShortestPathRouter(european_backbone(), engine="bogus")
+
+
+def test_missing_csgraph_falls_back_with_warning(monkeypatch):
+    def broken():
+        raise ImportError("forced by test")
+
+    monkeypatch.setattr(shortest_path_module, "_load_csgraph", broken)
+    network = european_backbone()
+    with pytest.warns(RuntimeWarning, match="falling back to the python Dijkstra sweep"):
+        routed = ShortestPathRouter(network, engine="csgraph").route_all()
+    expected = ShortestPathRouter(network, engine="python").route_all()
+    assert_identical_routes(routed, expected)
+
+
+def test_divergent_distances_fall_back_with_warning(monkeypatch):
+    """A csgraph whose tie handling drifts must not silently corrupt routes."""
+
+    class _BrokenCsgraph:
+        @staticmethod
+        def dijkstra(matrix, directed, indices):
+            # All-zero distances admit no optimal predecessor for any node,
+            # so the reconstruction must detect the inconsistency.
+            return np.zeros((len(indices), matrix.shape[0]))
+
+    monkeypatch.setattr(shortest_path_module, "_load_csgraph", lambda: _BrokenCsgraph)
+    network = european_backbone()
+    with pytest.warns(RuntimeWarning, match="falling back to the python Dijkstra sweep"):
+        routed = ShortestPathRouter(network, engine="csgraph").route_all()
+    expected = ShortestPathRouter(network, engine="python").route_all()
+    assert_identical_routes(routed, expected)
+
+
+def test_auto_engine_emits_no_warning_on_healthy_scipy():
+    network = random_backbone(_CSGRAPH_MIN_NODES, avg_degree=3.0, seed=3)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        ShortestPathRouter(network).route_all()

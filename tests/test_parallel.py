@@ -1,4 +1,4 @@
-"""The ``effective_jobs`` policy and the no-pool-on-one-worker guarantee.
+"""The ``effective_jobs`` policy, shared payloads, and pool guarantees.
 
 BENCH_PR3 recorded ``engine_parallel_seconds > engine_serial_seconds`` at
 ``cpu_count: 1``: asking for ``n_jobs=2`` on a single-core box spawned a
@@ -6,6 +6,12 @@ process pool that paid interpreter start-up and pickling for zero
 concurrency.  The fix clamps the resolved job count to the CPU count, and
 every engine skips pool creation entirely when the resolved count is 1 —
 which these tests assert directly by making pool construction an error.
+
+The shared-payload helpers (``share_payload`` / ``resolve_payload`` /
+``payload_executor``) are how the sweep and shard engines stop pickling
+the routing matrix into every worker task: the payload registers once in
+the parent, workers inherit it by fork (or receive it once per worker
+under spawn) and tasks carry only a tiny :class:`PayloadRef` token.
 """
 
 from __future__ import annotations
@@ -17,7 +23,14 @@ import pytest
 
 from repro.datasets import small_scenario
 from repro.errors import EstimationError
-from repro.parallel import effective_jobs
+from repro.parallel import (
+    PayloadRef,
+    effective_jobs,
+    payload_executor,
+    release_payload,
+    resolve_payload,
+    share_payload,
+)
 
 
 @pytest.fixture(scope="module")
@@ -67,6 +80,44 @@ class TestEffectiveJobs:
     def test_cpu_count_none_treated_as_one(self, monkeypatch):
         monkeypatch.setattr(os, "cpu_count", lambda: None)
         assert effective_jobs(4, 8) == 1
+
+
+def _payload_first_element(ref):
+    """Module-level worker: resolve the shared payload in a pool process."""
+    return resolve_payload(ref)[0]
+
+
+class TestSharedPayloads:
+    def test_round_trip_and_release(self):
+        ref = share_payload({"alpha": 1})
+        assert isinstance(ref, PayloadRef)
+        assert resolve_payload(ref) == {"alpha": 1}
+        release_payload(ref)
+        release_payload(ref)  # idempotent
+        with pytest.raises(RuntimeError, match="payload"):
+            resolve_payload(ref)
+
+    def test_non_refs_pass_through_unchanged(self):
+        payload = ("anything", 42)
+        assert resolve_payload(payload) is payload
+
+    def test_refs_pickle_small(self):
+        import pickle
+
+        ref = share_payload(list(range(10_000)))
+        try:
+            assert len(pickle.dumps(ref)) < 200
+        finally:
+            release_payload(ref)
+
+    def test_payload_executor_resolves_in_workers(self):
+        ref = share_payload(("shared-value", [1, 2, 3]))
+        try:
+            with payload_executor(max_workers=2) as pool:
+                results = list(pool.map(_payload_first_element, [ref] * 4))
+        finally:
+            release_payload(ref)
+        assert results == ["shared-value"] * 4
 
 
 class TestNoPoolSpawn:

@@ -1,0 +1,146 @@
+"""The automatic region partitioner and the region aggregation helpers.
+
+``partition_regions`` must produce, for any strongly connected backbone, a
+deterministic assignment whose regions are connected and balanced — the
+properties the sharded estimator's correctness (connected coarse graph)
+and performance (largest shard dominates solve time) rest on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    aggregate_to_regions,
+    assign_regions,
+    default_num_regions,
+    extract_region,
+    partition_regions,
+    random_backbone,
+)
+from repro.datasets import large_scenario
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_backbone(60, avg_degree=3.0, seed=11, name="part-60")
+
+
+def region_members(assignment):
+    members = {}
+    for node, region in assignment.items():
+        members.setdefault(region, set()).add(node)
+    return members
+
+
+def is_connected(network, members):
+    neighbours = {}
+    for link in network.links:
+        neighbours.setdefault(link.source, set()).add(link.target)
+        neighbours.setdefault(link.target, set()).add(link.source)
+    start = next(iter(members))
+    stack, seen = [start], {start}
+    while stack:
+        node = stack.pop()
+        for other in neighbours.get(node, ()):
+            if other in members and other not in seen:
+                seen.add(other)
+                stack.append(other)
+    return seen == members
+
+
+class TestPartitionRegions:
+    def test_deterministic_for_fixed_seed(self, network):
+        first = partition_regions(network, 4, seed=5)
+        second = partition_regions(network, 4, seed=5)
+        assert first == second
+
+    def test_covers_all_nodes_with_requested_regions(self, network):
+        assignment = partition_regions(network, 4, seed=5)
+        assert set(assignment) == set(network.node_names)
+        assert len(set(assignment.values())) == 4
+        assert sorted(set(assignment.values())) == ["R00", "R01", "R02", "R03"]
+
+    def test_every_region_is_connected(self, network):
+        assignment = partition_regions(network, 5, seed=2)
+        for members in region_members(assignment).values():
+            assert is_connected(network, members)
+
+    def test_regions_are_balanced(self, network):
+        num_regions = 4
+        assignment = partition_regions(network, num_regions, seed=5)
+        cap = math.ceil(1.3 * network.num_nodes / num_regions)
+        sizes = [len(members) for members in region_members(assignment).values()]
+        assert max(sizes) <= cap
+
+    def test_single_region_allowed(self, network):
+        assignment = partition_regions(network, 1)
+        assert set(assignment.values()) == {"R00"}
+
+    def test_too_many_regions_rejected(self, network):
+        with pytest.raises(TopologyError):
+            partition_regions(network, network.num_nodes + 1)
+
+    def test_default_num_regions_heuristic(self):
+        assert default_num_regions(500) == 8
+        assert default_num_regions(60) == 3
+        assert default_num_regions(2) == 2
+        with pytest.raises(TopologyError):
+            default_num_regions(1)
+
+
+class TestAssignAndAggregate:
+    def test_assign_then_extract_round_trip(self, network):
+        assignment = partition_regions(network, 3, seed=4)
+        stamped = assign_regions(network, assignment)
+        members = region_members(assignment)
+        for region, expected in members.items():
+            extracted = extract_region(stamped, region)
+            assert set(extracted.node_names) == expected
+
+    def test_assign_rejects_missing_nodes(self, network):
+        with pytest.raises(TopologyError):
+            assign_regions(network, {network.node_names[0]: "R00"})
+
+    def test_aggregate_to_regions_shape_and_capacities(self, network):
+        assignment = partition_regions(network, 3, seed=4)
+        aggregated = aggregate_to_regions(network, assignment)
+        assert set(aggregated.node_names) == set(assignment.values())
+        # Every aggregate link's capacity is the sum of its member links,
+        # its metric the minimum.
+        for link in aggregated.links:
+            members = [
+                original
+                for original in network.links
+                if assignment[original.source] == link.source
+                and assignment[original.target] == link.target
+            ]
+            assert members
+            assert link.capacity_mbps == pytest.approx(
+                sum(member.capacity_mbps for member in members)
+            )
+            assert link.metric == pytest.approx(min(member.metric for member in members))
+
+    def test_aggregate_requires_labels_or_assignment(self, network):
+        with pytest.raises(TopologyError):
+            aggregate_to_regions(network)  # generated nodes carry no labels
+
+
+class TestGeneratedTopologyRegions:
+    def test_random_backbone_stamps_regions(self):
+        network = random_backbone(30, avg_degree=3.0, seed=7, num_regions=3)
+        labels = {node.region for node in network.nodes}
+        assert len(labels) == 3
+        assert all(node.region is not None for node in network.nodes)
+
+    def test_random_backbone_rejects_conflicting_region_args(self):
+        with pytest.raises(TopologyError):
+            random_backbone(10, seed=1, region="core", num_regions=2)
+
+    def test_large_scenario_passes_num_regions_through(self):
+        scenario = large_scenario(24, seed=3, num_samples=4, num_regions=2)
+        labels = {node.region for node in scenario.network.nodes}
+        assert len(labels) == 2

@@ -89,6 +89,14 @@ class EstimationProblem:
     origin_names: Optional[tuple[str, ...]] = None
     destination_totals_series: Optional[np.ndarray] = None
     destination_names: Optional[tuple[str, ...]] = None
+    # Lazy per-problem caches (excluded from init/repr/eq; the frozen
+    # dataclass machinery still initialises them via object.__setattr__).
+    _augmented_cache: dict[tuple[bool, bool], tuple[Any, np.ndarray]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _shared_cache: dict[tuple, Any] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         num_links = self.routing.num_links
@@ -130,9 +138,6 @@ class EstimationProblem:
                     "destination_totals_series must have one column per destination name"
                 )
             object.__setattr__(self, "destination_totals_series", series)
-        # Lazy caches (the dataclass is frozen, so set them via object.__setattr__).
-        object.__setattr__(self, "_augmented_cache", {})
-        object.__setattr__(self, "_shared_cache", {})
 
     # ------------------------------------------------------------------
     @property
@@ -150,6 +155,8 @@ class EstimationProblem:
         """The link-load snapshot (mean of the series when only a series is given)."""
         if self.link_loads is not None:
             return self.link_loads
+        # __post_init__ guarantees at least one of the two is present.
+        assert self.link_load_series is not None
         return self.link_load_series.mean(axis=0)
 
     @property
@@ -327,11 +334,14 @@ class EstimationProblem:
             raise EstimationError(f"snapshot index {index} out of range for {num} snapshots")
         origin_totals = self.origin_totals
         if self.origin_totals_series is not None:
+            # __post_init__ guarantees the names accompany the series.
+            assert self.origin_names is not None
             origin_totals = dict(
                 zip(self.origin_names, self.origin_totals_series[index].tolist())
             )
         destination_totals = self.destination_totals
         if self.destination_totals_series is not None:
+            assert self.destination_names is not None
             destination_totals = dict(
                 zip(self.destination_names, self.destination_totals_series[index].tolist())
             )

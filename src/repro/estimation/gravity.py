@@ -243,6 +243,8 @@ class GeneralizedGravityEstimator(Estimator):
         if peering_nodes is not None:
             self.peering_nodes = set(peering_nodes)
         else:
+            # The guard above rules out both being None.
+            assert network is not None
             self.peering_nodes = {
                 node.name for node in network.nodes if node.role is NodeRole.PEERING
             }

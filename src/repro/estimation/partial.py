@@ -204,6 +204,10 @@ def greedy_measurement_selection(
             error = _evaluate(estimator, problem, trial, error_metric)
             if error < best_error:
                 best_error, best_pair = error, pair
+        if best_pair is None:
+            # Every candidate scored infinity — measuring more demands
+            # cannot improve anything, so stop early.
+            break
         selected[best_pair] = truth.demand(best_pair)
         remaining.remove(best_pair)
         history.append((best_pair, best_error))

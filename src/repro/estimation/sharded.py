@@ -333,7 +333,9 @@ class ShardedEstimator(Estimator):
                 rows = np.flatnonzero(sub_matrix.getnnz(axis=1) > 0)
                 shard_matrix = sub_matrix[rows]
             else:
-                sub_matrix = sub_backend.toarray()
+                # Densifying here is the point: the caller asked for the
+                # dense backend, and each shard is a small column slice.
+                sub_matrix = sub_backend.toarray()  # reprolint: allow[sparse-safety]
                 rows = np.flatnonzero((sub_matrix != 0).any(axis=1))
                 shard_matrix = sub_matrix[rows]
             if rows.size == 0:

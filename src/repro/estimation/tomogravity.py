@@ -68,6 +68,17 @@ class TomogravityEstimator(Estimator):
         diagnostics["flavour"] = self.flavour
         return EstimationResult(estimate=result.estimate, method=self.name, diagnostics=diagnostics)
 
+    def set_warm_start(self, vector: np.ndarray) -> None:
+        """Use ``vector`` as the next solve's starting point (one-shot).
+
+        Forwarded to the wrapped entropy/Bayesian estimator, which is what
+        actually runs the solver.  Without this forwarding the generic
+        series loop's ``getattr(self, "set_warm_start", ...)`` probe finds
+        nothing and tomogravity silently loses the warm-started batched
+        path the README advertises.
+        """
+        self._inner.set_warm_start(vector)  # type: ignore[attr-defined]
+
     def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:
         """Delegate to the inner estimator's batched path.
 

@@ -118,6 +118,18 @@ class GaussianNoiseModel:
         return np.maximum(loads + rng.normal(scale=1.0, size=loads.shape) * std, 0.0)
 
 
+#: Seed for the noise generator when the caller passes ``rng=None``.  A
+#: fixed fallback keeps no-argument calls reproducible run to run — the
+#: determinism contract the serial==parallel record tests rely on.  Pass an
+#: explicit generator to draw different noise per call.
+FALLBACK_NOISE_SEED = 0
+
+
+def _fallback_rng() -> np.random.Generator:
+    """Deterministic generator used when no ``rng`` is supplied."""
+    return np.random.default_rng(FALLBACK_NOISE_SEED)
+
+
 def link_loads_from_matrix(
     routing: RoutingMatrix,
     traffic: TrafficMatrix,
@@ -136,7 +148,8 @@ def link_loads_from_matrix(
     noise:
         Optional measurement-noise model (defaults to noiseless).
     rng:
-        Random generator for the noise model.
+        Random generator for the noise model (defaults to a fixed-seed
+        generator, so no-argument calls are reproducible).
     timestamp_seconds:
         Timestamp to attach to the observation.
     """
@@ -144,7 +157,7 @@ def link_loads_from_matrix(
         raise MeasurementError("routing matrix and traffic matrix use different pair orderings")
     loads = routing.link_loads(traffic.vector)
     if noise is not None and not isinstance(noise, NoiselessModel):
-        loads = noise.apply(loads, rng or np.random.default_rng())
+        loads = noise.apply(loads, rng if rng is not None else _fallback_rng())
     return LinkLoadObservation(
         link_names=routing.link_names, loads=loads, timestamp_seconds=timestamp_seconds
     )
@@ -164,7 +177,7 @@ def link_load_series(
     """
     if routing.pairs != series.pairs:
         raise MeasurementError("routing matrix and series use different pair orderings")
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else _fallback_rng()
     rows = []
     for snapshot in series:
         loads = routing.link_loads(snapshot.vector)

@@ -34,7 +34,11 @@ tiny :class:`PayloadRef` token.  Tasks ship the token; workers call
   per task, matching the initializer pattern the engines used before.
 
 Either way the worker operates on an exact copy of the parent object, so
-serial and parallel runs produce identical records.
+serial and parallel runs produce identical records.  To keep that true by
+construction, :func:`resolve_payload` hands payloads out *read-only*: every
+ndarray in the resolved object comes back as a ``writeable=False`` view, so
+a worker that tries to mutate shared state raises immediately instead of
+corrupting copy-on-write pages.
 """
 
 from __future__ import annotations
@@ -45,6 +49,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Optional, Type
+
+import numpy as np
 
 __all__ = [
     "effective_jobs",
@@ -111,23 +117,55 @@ def share_payload(obj: Any) -> PayloadRef:
     return PayloadRef(token)
 
 
+def _read_only_view(obj: Any) -> Any:
+    """A non-writable alias of ``obj``'s arrays (recursing into containers).
+
+    ndarrays are returned as ``writeable=False`` views sharing the original
+    buffer — no copy, but any in-place write in a worker raises instead of
+    silently corrupting copy-on-write pages (fork) or diverging per-worker
+    state (spawn).  Tuples, lists and dicts are rebuilt around converted
+    elements; anything else passes through unchanged (mutating an arbitrary
+    payload object is caught statically by reprolint's pool-safety rule).
+    """
+    if isinstance(obj, np.ndarray):
+        view = obj.view()
+        view.setflags(write=False)
+        return view
+    if isinstance(obj, tuple):
+        return tuple(_read_only_view(item) for item in obj)
+    if isinstance(obj, list):
+        return [_read_only_view(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _read_only_view(value) for key, value in obj.items()}
+    return obj
+
+
 def resolve_payload(ref: Any) -> Any:
     """Return the object behind ``ref``; non-references pass through unchanged.
 
     Passing values through makes call sites polymorphic: a helper that
     accepts either a payload reference or the object itself can resolve
     unconditionally.
+
+    Resolved payloads are handed out as **read-only views**: any ndarray in
+    the payload (including inside tuples/lists/dicts) comes back with
+    ``writeable=False``, so a worker that tries to mutate shared state
+    fails loudly with ``ValueError`` instead of silently breaking the
+    serial==parallel record invariant.  The parent's original arrays stay
+    writable.  Workers that need scratch space must copy first
+    (``np.array(view)`` / ``view.copy()``).
     """
     if not isinstance(ref, PayloadRef):
         return ref
     try:
-        return _PAYLOADS[ref.token]
+        payload = _PAYLOADS[ref.token]
     except KeyError:
         raise RuntimeError(
             f"payload {ref.token} is not registered in this process; "
             "create the pool with payload_executor() after share_payload(), "
             "or resolve in the parent process"
         ) from None
+    return _read_only_view(payload)
 
 
 def release_payload(ref: PayloadRef) -> None:

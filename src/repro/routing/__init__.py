@@ -24,6 +24,7 @@ provides:
 from repro.routing.backends import (
     DenseBackend,
     RoutingBackend,
+    RoutingOperator,
     SparseBackend,
     make_backend,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "build_routing_matrix",
     "build_ecmp_routing_matrix",
     "RoutingBackend",
+    "RoutingOperator",
     "DenseBackend",
     "SparseBackend",
     "make_backend",

@@ -26,7 +26,7 @@ results, so the choice is purely a performance knob.
 from __future__ import annotations
 
 import abc
-from typing import Union
+from typing import Protocol, Union, runtime_checkable
 
 import numpy as np
 import scipy.sparse
@@ -34,6 +34,7 @@ import scipy.sparse
 from repro.errors import RoutingError
 
 __all__ = [
+    "RoutingOperator",
     "RoutingBackend",
     "DenseBackend",
     "SparseBackend",
@@ -49,6 +50,48 @@ SPARSE_SIZE_THRESHOLD = 50_000
 #: Above this fill fraction the dense representation is used regardless of
 #: size (CSR products beat BLAS only on genuinely sparse data).
 SPARSE_DENSITY_THRESHOLD = 0.25
+
+
+@runtime_checkable
+class RoutingOperator(Protocol):
+    """The operator surface estimation code may assume of a routing matrix.
+
+    This is the *typed contract* between the routing layer and its
+    consumers: solvers written against ``RoutingOperator`` work with every
+    :class:`RoutingBackend` implementation — and, crucially, they cannot
+    densify, because the protocol deliberately omits ``toarray``.  Code
+    that needs the dense view must take a concrete backend and justify the
+    materialisation to reprolint's sparse-safety rule.
+    (:class:`~repro.routing.routing_matrix.RoutingMatrix` forwards the
+    product methods to its backend and exposes the full operator via its
+    ``backend`` property.)
+
+    mypy checks structural conformance (``repro.routing`` and
+    ``repro.estimation`` are type-checked in CI); the protocol is also
+    ``runtime_checkable`` so tests can assert conformance with
+    ``isinstance``.
+    """
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(num_links, num_pairs)``."""
+        ...
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``R @ x`` for a vector ``x`` of length ``num_pairs``."""
+        ...
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``R.T @ y`` for a vector ``y`` of length ``num_links``."""
+        ...
+
+    def gram(self) -> np.ndarray:
+        """The dense Gram matrix ``R.T @ R``."""
+        ...
+
+    def column_select(self, indices: np.ndarray) -> "RoutingOperator":
+        """A new operator restricted to the given pair columns."""
+        ...
 
 
 class RoutingBackend(abc.ABC):
@@ -143,7 +186,8 @@ class DenseBackend(RoutingBackend):
 
     @property
     def shape(self) -> tuple[int, int]:
-        return self._matrix.shape
+        rows, cols = self._matrix.shape
+        return (int(rows), int(cols))
 
     @property
     def nnz(self) -> int:

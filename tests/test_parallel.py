@@ -164,3 +164,82 @@ class TestNoPoolSpawn:
         result = bound_variables_batch([0], matrix, rhs, n_jobs=4)
         assert result.lower[0] == pytest.approx(0.0, abs=1e-8)
         assert result.upper[0] == pytest.approx(2.0, abs=1e-8)
+
+
+def _mutating_worker(ref):
+    """Module-level worker that tries to write into a shared payload."""
+    payload = resolve_payload(ref)
+    try:
+        payload["vector"][0] = 99.0
+    except ValueError:
+        return "refused"
+    return "mutated"
+
+
+class TestReadOnlyPayloads:
+    """``resolve_payload`` hands out read-only views of shared arrays.
+
+    A worker that writes into a resolved payload would corrupt
+    copy-on-write pages under fork (or diverge per-worker state under
+    spawn), silently breaking the serial==parallel record invariant.  The
+    views make that mistake raise ``ValueError`` at the write site; the
+    reprolint ``pool-safety`` rule catches the same mistake statically.
+    """
+
+    def test_resolved_arrays_are_read_only(self):
+        import numpy as np
+
+        original = np.arange(4.0)
+        ref = share_payload(original)
+        try:
+            view = resolve_payload(ref)
+            assert not view.flags.writeable
+            assert np.shares_memory(view, original)  # a view, not a copy
+            with pytest.raises(ValueError):
+                view[0] = -1.0
+        finally:
+            release_payload(ref)
+
+    def test_containers_are_recursed(self):
+        import numpy as np
+
+        payload = {"vector": np.ones(3), "nested": [np.zeros(2), "label"], "pair": (np.ones(1),)}
+        ref = share_payload(payload)
+        try:
+            resolved = resolve_payload(ref)
+            assert not resolved["vector"].flags.writeable
+            assert not resolved["nested"][0].flags.writeable
+            assert not resolved["pair"][0].flags.writeable
+            assert resolved["nested"][1] == "label"
+        finally:
+            release_payload(ref)
+
+    def test_parent_arrays_stay_writable(self):
+        import numpy as np
+
+        original = np.zeros(3)
+        ref = share_payload(original)
+        try:
+            resolve_payload(ref)
+            original[0] = 7.0  # the parent's own array is untouched
+            assert original[0] == 7.0
+        finally:
+            release_payload(ref)
+
+    def test_passthrough_values_are_not_wrapped(self):
+        import numpy as np
+
+        array = np.zeros(2)
+        assert resolve_payload(array) is array
+        assert array.flags.writeable
+
+    def test_mutating_worker_fails_loudly(self):
+        import numpy as np
+
+        ref = share_payload({"vector": np.zeros(3)})
+        try:
+            with payload_executor(max_workers=2) as pool:
+                results = list(pool.map(_mutating_worker, [ref] * 4))
+        finally:
+            release_payload(ref)
+        assert results == ["refused"] * 4

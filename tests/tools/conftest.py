@@ -1,0 +1,39 @@
+"""Fixtures for the reprolint tool tests.
+
+``reprolint`` lives in ``tools/`` (it is a development tool, not part of
+the ``repro`` library), so the tests put that directory on ``sys.path``
+themselves instead of relying on the ``PYTHONPATH=tools`` the CLI docs
+and the CI lint job use.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Run reprolint rules over an inline source snippet.
+
+    Returns ``lint(source, rules=None, allowlist=())`` -> list[Diagnostic],
+    writing the snippet to a temp file so diagnostics carry real paths
+    (always ``snippet.py`` relative to the temp root).
+    """
+    from reprolint.engine import run_rules
+    from reprolint.rules import ALL_RULES
+
+    def run(source: str, rules=None, allowlist=()):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text(textwrap.dedent(source))
+        return run_rules(list(rules or ALL_RULES), [snippet], tmp_path, allowlist)
+
+    return run

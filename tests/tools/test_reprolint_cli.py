@@ -1,0 +1,167 @@
+"""The ``python -m reprolint`` command line: exit codes and self-checks.
+
+The CI lint job runs ``PYTHONPATH=tools python -m reprolint src benchmarks
+examples`` and fails the build on exit code 1; these tests pin that
+contract — including the one the whole PR rests on: the repository's own
+tree lints clean.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+
+
+def run_cli(*arguments: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(TOOLS_DIR)
+    return subprocess.run(
+        [sys.executable, "-m", "reprolint", *arguments],
+        cwd=cwd,
+        env=environment,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+PLANTED = {
+    "sparse_leak.py": (
+        """
+        from repro.routing import RoutingMatrix
+
+        def leak(routing: RoutingMatrix):
+            return routing.toarray()
+        """,
+        "REPRO101",
+        5,
+    ),
+    "unseeded.py": (
+        """
+        import numpy as np
+
+        def sample():
+            return np.random.default_rng()
+        """,
+        "REPRO201",
+        5,
+    ),
+    "closure_pool.py": (
+        """
+        from repro.parallel import payload_executor
+
+        def run(items):
+            with payload_executor(4) as pool:
+                return list(pool.map(lambda item: item, items))
+        """,
+        "REPRO301",
+        6,
+    ),
+    "bad_estimator.py": (
+        """
+        from repro.estimation.base import Estimator
+        from repro.estimation.registry import register
+
+        @register()
+        class Broken(Estimator):
+            name = "broken"
+        """,
+        "REPRO401",
+        6,
+    ),
+}
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def fine():\n    return 1\n")
+        result = run_cli(str(clean), "--root", str(tmp_path))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert result.stdout.strip() == ""
+
+    def test_planted_violations_exit_one_with_locations(self, tmp_path):
+        for filename, (source, _, _) in PLANTED.items():
+            (tmp_path / filename).write_text(textwrap.dedent(source))
+        result = run_cli(str(tmp_path), "--root", str(tmp_path), "--no-allowlist")
+        assert result.returncode == 1
+        for filename, (_, code, line) in PLANTED.items():
+            assert f"{filename}:{line}:" in result.stdout, (filename, result.stdout)
+            assert code in result.stdout
+        assert "4 violation(s)" in result.stdout
+
+    def test_select_runs_only_named_rules(self, tmp_path):
+        for filename, (source, _, _) in PLANTED.items():
+            (tmp_path / filename).write_text(textwrap.dedent(source))
+        result = run_cli(
+            str(tmp_path), "--root", str(tmp_path), "--select", "determinism"
+        )
+        assert result.returncode == 1
+        assert "REPRO201" in result.stdout
+        assert "REPRO101" not in result.stdout
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        result = run_cli(str(tmp_path), "--select", "no-such-rule")
+        assert result.returncode == 2
+        assert "unknown rule" in result.stderr
+
+    def test_missing_path_exits_two(self):
+        result = run_cli("definitely/not/a/path")
+        assert result.returncode == 2
+        assert "no such file" in result.stderr
+
+    def test_malformed_allowlist_exits_two(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        bad = tmp_path / "allow.txt"
+        bad.write_text("not enough fields\n")
+        result = run_cli(
+            str(target), "--root", str(tmp_path), "--allowlist", str(bad)
+        )
+        assert result.returncode == 2
+
+    def test_list_rules(self):
+        result = run_cli("--list-rules")
+        assert result.returncode == 0
+        for code in ("REPRO101", "REPRO201", "REPRO301", "REPRO401"):
+            assert code in result.stdout
+
+
+class TestSelfCheck:
+    def test_repository_tree_is_clean(self):
+        # The acceptance gate: the checked-in sources, benchmarks and
+        # examples pass their own invariant checker.
+        result = run_cli("src", "benchmarks", "examples")
+        assert result.returncode == 0, f"reprolint found:\n{result.stdout}{result.stderr}"
+
+    def test_allowlist_is_well_formed_and_used(self):
+        from reprolint.engine import load_allowlist
+
+        entries = load_allowlist(TOOLS_DIR / "reprolint" / "allowlist.txt")
+        assert entries, "the checked-in allowlist should carry the reviewed grants"
+        for entry in entries:
+            assert entry.reason.strip()
+
+    def test_tree_is_dirty_without_the_allowlist(self):
+        # The grants are load-bearing: the documented dense views in the
+        # routing layer are real rule hits that the allowlist reviews away.
+        result = run_cli("src", "--no-allowlist")
+        assert result.returncode == 1
+        assert "routing" in result.stdout
+
+
+@pytest.mark.slow
+class TestPackaging:
+    def test_cli_runs_from_any_cwd(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        result = run_cli(str(target), "--root", str(tmp_path), cwd=tmp_path)
+        assert result.returncode == 0

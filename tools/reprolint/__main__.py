@@ -1,0 +1,117 @@
+"""Command-line entry point: ``python -m reprolint [paths...]``.
+
+Exit codes: ``0`` when every checked file is clean, ``1`` when violations
+were found, ``2`` on usage errors (unknown rule, missing path, malformed
+allowlist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from reprolint.engine import load_allowlist, run_rules
+from reprolint.rules import ALL_RULES, rules_by_name
+
+DEFAULT_ALLOWLIST = Path(__file__).parent / "allowlist.txt"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checker for the traffic-matrix estimation repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks", "examples"],
+        help="files or directories to check (default: src benchmarks examples)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root that relative paths (and diagnostics) are resolved against",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule names to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--allowlist",
+        default=str(DEFAULT_ALLOWLIST),
+        help="allowlist file (default: the checked-in tools/reprolint/allowlist.txt)",
+    )
+    parser.add_argument(
+        "--no-allowlist",
+        action="store_true",
+        help="ignore the allowlist file (inline pragmas still apply)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule families and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code} {rule.name}: {rule.description}")
+        return 0
+
+    available = rules_by_name()
+    if options.select is not None:
+        selected_names = [name.strip() for name in options.select.split(",") if name.strip()]
+        unknown = [name for name in selected_names if name not in available]
+        if unknown:
+            print(
+                f"reprolint: unknown rule(s) {', '.join(unknown)}; "
+                f"available: {', '.join(available)}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [available[name] for name in selected_names]
+    else:
+        rules = list(ALL_RULES)
+
+    allowlist = ()
+    if not options.no_allowlist:
+        allowlist_path = Path(options.allowlist)
+        if allowlist_path.exists():
+            try:
+                allowlist = load_allowlist(allowlist_path)
+            except ValueError as exc:
+                print(f"reprolint: {exc}", file=sys.stderr)
+                return 2
+        elif options.allowlist != str(DEFAULT_ALLOWLIST):
+            print(f"reprolint: allowlist not found: {allowlist_path}", file=sys.stderr)
+            return 2
+
+    root = Path(options.root).resolve()
+    try:
+        diagnostics = run_rules(rules, [Path(p) for p in options.paths], root, allowlist)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    if diagnostics:
+        counts: dict[str, int] = {}
+        for diagnostic in diagnostics:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        summary = ", ".join(f"{rule}: {count}" for rule, count in sorted(counts.items()))
+        print(f"reprolint: {len(diagnostics)} violation(s) ({summary})")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

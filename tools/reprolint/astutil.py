@@ -1,0 +1,123 @@
+"""Small AST helpers shared by the reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = [
+    "dotted_name",
+    "call_name",
+    "annotation_names",
+    "walk_scopes",
+    "Scope",
+]
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's function, ``None`` when it is not a plain chain."""
+    return dotted_name(node.func)
+
+
+def annotation_names(annotation: Optional[ast.expr]) -> set[str]:
+    """Every identifier mentioned anywhere in an annotation expression.
+
+    String annotations (``"RoutingMatrix"``) are parsed so forward
+    references participate; unparsable strings contribute their raw text
+    as a single token.
+    """
+    if annotation is None:
+        return set()
+    names: set[str] = set()
+    stack: list[ast.AST] = [annotation]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+            stack.append(node.value)
+        elif isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                try:
+                    stack.append(ast.parse(node.value, mode="eval").body)
+                except SyntaxError:
+                    names.add(node.value)
+        else:
+            stack.extend(ast.iter_child_nodes(node))
+    return names
+
+
+def _child_statements(statement: ast.stmt) -> Iterator[ast.stmt]:
+    """Direct child statements of ``statement`` (all branches and handlers)."""
+    for field_name in ("body", "orelse", "finalbody"):
+        for child in getattr(statement, field_name, []):
+            if isinstance(child, ast.stmt):
+                yield child
+    for handler in getattr(statement, "handlers", []):
+        yield from handler.body
+    for case in getattr(statement, "cases", []):  # match statements
+        yield from case.body
+
+
+class Scope:
+    """One function (or the module body) together with its statements."""
+
+    def __init__(self, node: ast.AST, body: list[ast.stmt]) -> None:
+        self.node = node
+        self.body = body
+
+    @property
+    def args(self) -> Optional[ast.arguments]:
+        if isinstance(self.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return self.node.args
+        return None
+
+    def statements(self) -> Iterator[ast.stmt]:
+        """Every statement of the scope, excluding nested function bodies."""
+        stack = list(self.body)
+        while stack:
+            statement = stack.pop(0)
+            yield statement
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scope: walked separately
+            stack.extend(_child_statements(statement))
+
+    def expressions(self) -> Iterator[ast.expr]:
+        """Every expression under the scope's statements (nested defs excluded).
+
+        Function and class *bodies* are separate scopes, but their
+        decorators evaluate here, so those are included.
+        """
+        for statement in self.statements():
+            children: Iterator[ast.AST]
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                children = iter(statement.decorator_list)
+            else:
+                children = ast.iter_child_nodes(statement)
+            for child in children:
+                if isinstance(child, ast.expr):
+                    for node in ast.walk(child):
+                        if isinstance(node, ast.expr):
+                            yield node
+
+
+def walk_scopes(tree: ast.Module) -> Iterator[Scope]:
+    """The module scope followed by every (possibly nested) function scope."""
+    yield Scope(tree, list(tree.body))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield Scope(node, list(node.body))

@@ -1,0 +1,245 @@
+"""Rule engine of ``reprolint``: file walking, suppression, reporting.
+
+The engine is deliberately small.  A *rule* is an object with a ``name``,
+a ``code`` and one (or both) of two hooks:
+
+* ``check(context)`` — per-file analysis over the parsed AST;
+* ``check_project(project)`` — whole-run analysis over every parsed file
+  (used by cross-module rules such as ``registry-contracts``, which must
+  resolve class hierarchies across files).
+
+Both hooks yield :class:`Diagnostic` records.  The engine owns the two
+suppression mechanisms so rules never have to think about them:
+
+* **inline pragmas** — ``# reprolint: allow[rule-name]`` (or
+  ``allow[rule-a, rule-b]`` / ``allow[*]``) on the flagged line or the
+  line directly above it;
+* **the checked-in allowlist** — ``allowlist.txt`` next to this module,
+  granting either a whole file or the lines of a file containing a
+  given substring for one rule (see :class:`AllowlistEntry`).
+
+Suppressed diagnostics are dropped before reporting, so the exit code
+reflects only live violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Protocol, Sequence
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "ProjectContext",
+    "Rule",
+    "AllowlistEntry",
+    "load_allowlist",
+    "parse_pragmas",
+    "collect_files",
+    "run_rules",
+]
+
+#: ``# reprolint: allow[rule-a, rule-b]`` — the inline suppression pragma.
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*allow\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where it is, which rule fired, and why."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} [{self.rule}] {self.message}"
+
+
+class Rule(Protocol):
+    """Static interface every rule module's ``RULE`` object satisfies."""
+
+    name: str
+    code: str
+    description: str
+
+    def check(self, context: "FileContext") -> Iterator[Diagnostic]: ...
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    """One grant from the checked-in allowlist file.
+
+    ``rule`` names the rule being silenced (``*`` for all rules), ``path``
+    is an fnmatch glob over the repo-relative posix path, and ``fragment``
+    restricts the grant to source lines containing the substring (``*``
+    grants the whole file).  Every entry carries a human reason so the
+    allowlist stays reviewable.
+    """
+
+    rule: str
+    path: str
+    fragment: str
+    reason: str
+
+    def matches(self, diagnostic: Diagnostic, source_line: str) -> bool:
+        if self.rule != "*" and self.rule != diagnostic.rule:
+            return False
+        if not fnmatch.fnmatch(diagnostic.path, self.path):
+            return False
+        if self.fragment == "*":
+            return True
+        return self.fragment in source_line
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file rule needs about one source file."""
+
+    path: str  # repo-relative posix path used in diagnostics
+    tree: ast.Module
+    source_lines: list[str]
+    pragmas: dict[int, set[str]] = field(default_factory=dict)
+
+    def line(self, number: int) -> str:
+        """1-indexed source line (empty string when out of range)."""
+        if 1 <= number <= len(self.source_lines):
+            return self.source_lines[number - 1]
+        return ""
+
+    def suppressed(self, diagnostic: Diagnostic) -> bool:
+        """Whether an inline pragma on the line (or the one above) allows it."""
+        for line in (diagnostic.line, diagnostic.line - 1):
+            rules = self.pragmas.get(line)
+            if rules and ("*" in rules or diagnostic.rule in rules):
+                return True
+        return False
+
+
+@dataclass
+class ProjectContext:
+    """All parsed files of one run, for cross-module rules."""
+
+    files: list[FileContext]
+
+    def by_path(self, path: str) -> Optional[FileContext]:
+        for context in self.files:
+            if context.path == path:
+                return context
+        return None
+
+
+def parse_pragmas(source_lines: Sequence[str]) -> dict[int, set[str]]:
+    """Map 1-indexed line numbers to the rule names their pragma allows."""
+    pragmas: dict[int, set[str]] = {}
+    for number, text in enumerate(source_lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        names = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if names:
+            pragmas[number] = names
+    return pragmas
+
+
+def load_allowlist(path: Path) -> list[AllowlistEntry]:
+    """Parse the allowlist file: ``rule | path-glob | fragment | reason`` lines.
+
+    Blank lines and ``#`` comments are skipped.  A malformed line raises
+    ``ValueError`` — a silently ignored grant is worse than a loud one.
+    """
+    entries: list[AllowlistEntry] = []
+    for number, raw in enumerate(path.read_text().splitlines(), start=1):
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        parts = [part.strip() for part in text.split("|")]
+        if len(parts) != 4 or not all(parts):
+            raise ValueError(
+                f"{path}:{number}: allowlist lines need 'rule | path-glob | fragment | reason'"
+            )
+        entries.append(AllowlistEntry(*parts))
+    return entries
+
+
+def collect_files(paths: Iterable[Path], root: Path) -> list[Path]:
+    """Expand the CLI path arguments into the sorted set of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        resolved = path if path.is_absolute() else root / path
+        if resolved.is_dir():
+            files.update(
+                candidate
+                for candidate in resolved.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+                and not any(part.startswith(".") for part in candidate.relative_to(root).parts)
+            )
+        elif resolved.is_file():
+            files.add(resolved)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def _build_context(file_path: Path, root: Path) -> tuple[Optional[FileContext], Optional[Diagnostic]]:
+    relative = file_path.relative_to(root).as_posix()
+    source = file_path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            path=relative,
+            line=exc.lineno or 1,
+            column=(exc.offset or 1),
+            rule="parse",
+            code="REPRO000",
+            message=f"file does not parse: {exc.msg}",
+        )
+    lines = source.splitlines()
+    return FileContext(path=relative, tree=tree, source_lines=lines, pragmas=parse_pragmas(lines)), None
+
+
+def run_rules(
+    rules: Sequence[Rule],
+    paths: Iterable[Path],
+    root: Path,
+    allowlist: Sequence[AllowlistEntry] = (),
+) -> list[Diagnostic]:
+    """Run every rule over every file and return the live diagnostics, sorted."""
+    contexts: list[FileContext] = []
+    diagnostics: list[Diagnostic] = []
+    for file_path in collect_files(paths, root):
+        context, parse_error = _build_context(file_path, root)
+        if parse_error is not None:
+            diagnostics.append(parse_error)
+            continue
+        assert context is not None
+        contexts.append(context)
+        for rule in rules:
+            check = getattr(rule, "check", None)
+            if check is not None:
+                diagnostics.extend(check(context))
+    project = ProjectContext(files=contexts)
+    for rule in rules:
+        check_project = getattr(rule, "check_project", None)
+        if check_project is not None:
+            diagnostics.extend(check_project(project))
+
+    by_path = {context.path: context for context in contexts}
+    live: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        context = by_path.get(diagnostic.path)
+        if context is not None and context.suppressed(diagnostic):
+            continue
+        source_line = context.line(diagnostic.line) if context is not None else ""
+        if any(entry.matches(diagnostic, source_line) for entry in allowlist):
+            continue
+        live.append(diagnostic)
+    live.sort(key=lambda d: (d.path, d.line, d.column, d.code))
+    return live

@@ -1,0 +1,17 @@
+"""Rule registry: every rule family ships one module exposing ``RULE``."""
+
+from __future__ import annotations
+
+from reprolint.rules.determinism import RULE as DETERMINISM
+from reprolint.rules.pool_safety import RULE as POOL_SAFETY
+from reprolint.rules.registry_contracts import RULE as REGISTRY_CONTRACTS
+from reprolint.rules.sparse_safety import RULE as SPARSE_SAFETY
+
+__all__ = ["ALL_RULES", "rules_by_name"]
+
+#: Evaluation order is also the display order of ``--list-rules``.
+ALL_RULES = (SPARSE_SAFETY, DETERMINISM, POOL_SAFETY, REGISTRY_CONTRACTS)
+
+
+def rules_by_name() -> dict[str, object]:
+    return {rule.name: rule for rule in ALL_RULES}

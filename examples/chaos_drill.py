@@ -1,0 +1,112 @@
+"""Chaos drill: run the full estimation pipeline under a seeded fault plan.
+
+An operational traffic-matrix pipeline has to survive the ways real SNMP
+collection breaks: UDP loss bursts, routers rebooting mid-schedule (counter
+resets), clock skew on a line card, a whole poller dropping out, and
+solvers that refuse to converge on the damaged data.  This drill injects
+all of them — deterministically, from one seed — and shows the pipeline
+degrade *and report* instead of crashing:
+
+1. build a synthetic scenario and a composable :class:`FaultPlan`;
+2. collect measurements through the faulted pollers and derive rates
+   (wraps recovered, resets interpolated, diagnostics counted);
+3. sweep estimators over the damaged archive with the ``supervised``
+   wrapper — a deliberately starved iteration budget forces the entropy
+   solver to fail and fall back down the chain;
+4. print each record's structured :class:`DegradationReport`.
+
+Re-run with a different ``CHAOS_SEED`` environment value to draw a fresh
+— but equally reproducible — fault stream.
+
+Run with::
+
+    python examples/chaos_drill.py
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from repro.datasets import small_scenario
+from repro.resilience import (
+    ClockSkew,
+    CollectorOutage,
+    CounterReset,
+    PollLossBurst,
+    fault_plan,
+)
+
+
+def main() -> None:
+    seed = int(os.environ.get("CHAOS_SEED", "0"))
+    print(f"1. Building a 6-PoP scenario and a seeded fault plan (CHAOS_SEED={seed})...")
+    scenario = small_scenario(seed=7, num_nodes=6, busy_length=8, num_samples=16)
+    plan = fault_plan(
+        PollLossBurst(start_round=3, num_rounds=4, fraction=0.7),
+        CounterReset(round_index=9),
+        ClockSkew(offset_seconds=20.0, start_round=5),
+        CollectorOutage(poller_index=0, start_round=6, num_rounds=2),
+        seed=seed,
+    )
+    print(f"   {plan.describe()}")
+
+    print("2. Collecting through 2 faulted pollers (2% baseline UDP loss)...")
+    measured = scenario.measured(
+        loss_probability=0.02, num_pollers=2, seed=seed, fault_plan=plan
+    )
+    diagnostics = measured.collector.collection_diagnostics()
+    print(
+        f"   {diagnostics.total_samples} samples: "
+        f"{diagnostics.lost_samples} lost, "
+        f"{diagnostics.interpolated_samples} interpolated, "
+        f"{diagnostics.reset_samples} reset, "
+        f"{diagnostics.wrap_samples} wrapped"
+    )
+
+    print("3. Sweeping estimators over the damaged archive (budget-starved entropy)...")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", RuntimeWarning)
+        records = measured.sweep(
+            methods=[
+                "gravity",
+                "tomogravity",
+                (
+                    "supervised",
+                    {
+                        "primary": "entropy",
+                        "primary_params": {"prior": "gravity"},
+                        "fallbacks": ("tomogravity", "gravity"),
+                        "max_iterations": 2,
+                        "retries": 0,
+                    },
+                ),
+            ],
+            window_length=4,
+        )
+    for warning in caught:
+        print(f"   warning: {warning.message}")
+
+    print("4. Every record completed; degradations are structured, not fatal:")
+    for record in records:
+        line = f"   {record.method:<12} MRE {record.mre:.3f}"
+        report = record.degradation
+        if report is None or not report.get("degraded"):
+            print(line + "  (clean)")
+            continue
+        print(
+            line
+            + f"  DEGRADED: requested {report['requested']!r}, "
+            + f"used {report['used']!r} after {report['attempts']} attempts"
+        )
+        for event in report["events"]:
+            print(f"                [{event['stage']}] {event['kind']}: {event['detail']}")
+
+    print(
+        "\nThe drill is fully deterministic: the same CHAOS_SEED reproduces the "
+        "same losses, the same diagnostics, and the same degradation reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -43,6 +43,7 @@ from repro.estimation.base import EstimationProblem, SeriesEstimationResult
 from repro.measurement.collector import DistributedCollector
 from repro.measurement.linkloads import link_load_series
 from repro.measurement.snmp import RateDiagnostics
+from repro.resilience.report import FailureReason
 from repro.routing.routing_matrix import RoutingMatrix
 from repro.topology.network import Network
 from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSeries
@@ -64,13 +65,22 @@ class SweepRecord:
     per_snapshot_mre:
         MRE of each snapshot's estimate against that snapshot's truth.
     error:
-        Why the method was skipped (empty when it ran).
+        Human-readable skip reason (empty when the method ran); kept
+        alongside ``failure`` for backward compatibility.
+    failure:
+        Structured :class:`~repro.resilience.report.FailureReason`
+        (exception type, message, method, stage), ``None`` when it ran.
+    degradation:
+        The degradation-report dict the method attached to its diagnostics
+        (supervised/sharded estimators), ``None`` for a clean run.
     """
 
     method: str
     mre: float
     per_snapshot_mre: np.ndarray
     error: str = ""
+    failure: Optional[FailureReason] = None
+    degradation: Optional[dict] = None
 
     @property
     def skipped(self) -> bool:
@@ -223,6 +233,8 @@ class Scenario:
         num_pollers: int = 3,
         seed: Optional[int] = None,
         max_interpolated_fraction: float = 1.0,
+        fault_plan: Optional[object] = None,
+        counter_bits: int = 64,
     ) -> "MeasuredScenario":
         """A view of this scenario whose observables come from SNMP collection.
 
@@ -234,6 +246,12 @@ class Scenario:
         truth (``busy_series`` and friends) stays the true series, so sweeps
         and method comparisons score estimators on inconsistent data against
         the real demands.
+
+        ``fault_plan`` (a :class:`~repro.resilience.faults.FaultPlan`)
+        injects deterministic collection failures — loss bursts, counter
+        resets, Counter32 wraps, clock skew, poller outages — on top of
+        the statistical jitter/loss model, and ``counter_bits=32`` makes
+        the pollers read wrapping Counter32 counters.
         """
         return MeasuredScenario(
             name=self.name,
@@ -246,6 +264,8 @@ class Scenario:
             num_pollers=num_pollers,
             measurement_seed=seed,
             max_interpolated_fraction=max_interpolated_fraction,
+            fault_plan=fault_plan,
+            counter_bits=counter_bits,
         )
 
     # ------------------------------------------------------------------
@@ -310,12 +330,14 @@ class Scenario:
         truth_snapshots = [truth_series[k] for k in range(len(truth_series))]
         truth_mean = truth_series.mean_matrix()
 
-        def skip_record(name: str, exc: Exception) -> SweepRecord:
+        def skip_record(name: str, exc: Exception, stage: str) -> SweepRecord:
+            failure = FailureReason.from_exception(exc, spec=name, stage=stage)
             return SweepRecord(
                 method=name,
                 mre=float("nan"),
                 per_snapshot_mre=np.array([]),
                 error=str(exc),
+                failure=failure,
             )
 
         records: list[SweepRecord] = []
@@ -328,7 +350,7 @@ class Scenario:
             except (EstimationError, TypeError) as exc:
                 if not skip_errors:
                     raise
-                records.append(skip_record(name, exc))
+                records.append(skip_record(name, exc, stage="construct"))
                 continue
             try:
                 result: SeriesEstimationResult = estimator.estimate_series(problem)
@@ -342,10 +364,15 @@ class Scenario:
             except (EstimationError, SolverError) as exc:
                 if not skip_errors:
                     raise
-                records.append(skip_record(name, exc))
+                records.append(skip_record(name, exc, stage="estimate"))
                 continue
             records.append(
-                SweepRecord(method=name, mre=mre, per_snapshot_mre=per_snapshot)
+                SweepRecord(
+                    method=name,
+                    mre=mre,
+                    per_snapshot_mre=per_snapshot,
+                    degradation=result.diagnostics.get("degradation"),
+                )
             )
         return records
 
@@ -388,7 +415,7 @@ class MeasuredScenario(Scenario):
     Attributes
     ----------
     jitter_std_seconds, loss_probability, num_pollers, measurement_seed,
-    max_interpolated_fraction:
+    max_interpolated_fraction, fault_plan, counter_bits:
         Forwarded to the underlying
         :class:`~repro.measurement.collector.DistributedCollector`.
     """
@@ -398,6 +425,8 @@ class MeasuredScenario(Scenario):
     num_pollers: int = 3
     measurement_seed: Optional[int] = None
     max_interpolated_fraction: float = 1.0
+    fault_plan: Optional[object] = None
+    counter_bits: int = 64
     _collector: Optional[DistributedCollector] = field(default=None, repr=False)
     _measured_day: Optional[TrafficMatrixSeries] = field(default=None, repr=False)
     _measured_loads: Optional[np.ndarray] = field(default=None, repr=False)
@@ -417,6 +446,8 @@ class MeasuredScenario(Scenario):
                 loss_probability=self.loss_probability,
                 seed=self.measurement_seed,
                 max_interpolated_fraction=self.max_interpolated_fraction,
+                fault_plan=self.fault_plan,
+                counter_bits=self.counter_bits,
             )
             collector.collect(self.day_series)
             self._collector = collector

@@ -76,3 +76,14 @@ class SolverError(ReproError):
     in the projected-gradient solvers, and singular equality constraints in
     the quadratic-programming solver.
     """
+
+
+class BudgetExceededError(SolverError):
+    """Raised when a cooperative :class:`repro.resilience.SolverBudget` runs out.
+
+    Solver loops call :func:`repro.resilience.budget_tick` once per
+    iteration; when the innermost active budget has exhausted its wall-clock
+    or iteration allowance the tick raises this error, which the
+    :class:`~repro.resilience.SupervisedEstimator` treats like any other
+    solver failure (retry, then fall back down the chain).
+    """

@@ -77,6 +77,10 @@ from repro.estimation.worstcase import (
     worst_case_bounds,
 )
 
+# The supervisor lives in repro.resilience but registers like any other
+# method; importing it here keeps "supervised" visible to the registry.
+from repro.resilience.supervisor import SupervisedEstimator
+
 __all__ = [
     "EstimationProblem",
     "EstimationResult",
@@ -108,6 +112,7 @@ __all__ = [
     "TomogravityEstimator",
     "sweep_regularization",
     "ShardedEstimator",
+    "SupervisedEstimator",
     "uniform_prior",
     "gravity_prior",
     "worst_case_bound_prior",

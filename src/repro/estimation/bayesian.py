@@ -38,6 +38,7 @@ from repro.estimation.gravity import gravity_vector_series
 from repro.estimation.priors import make_prior
 from repro.estimation.registry import register
 from repro.optimize.nnls import nnls, nnls_normal_equations_batch
+from repro.resilience.budget import budget_tick
 
 __all__ = ["BayesianEstimator"]
 
@@ -234,6 +235,7 @@ class BayesianEstimator(Estimator):
         converged = False
         iterations = 0
         for iterations in range(1, max_iterations + 1):
+            budget_tick()
             residual = routing.matvec(y) - snapshot
             gradient = 2.0 * routing.rmatvec(residual) + 2.0 * weight_sq * (y - prior)
             x_next = np.maximum(y - step * gradient, 0.0)

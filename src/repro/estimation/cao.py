@@ -106,7 +106,9 @@ class CaoEstimator(Estimator):
         if isinstance(self.prior, str):
             try:
                 start = make_prior(problem, self.prior)
-            except EstimationError:
+            # Probing whether the named prior is constructible; the
+            # documented nnls fallback below is the designed default.
+            except EstimationError:  # reprolint: allow[fault-handling]
                 start = None
         else:
             start = np.asarray(self.prior, dtype=float)

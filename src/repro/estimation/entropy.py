@@ -37,6 +37,7 @@ from repro.estimation.base import (
 from repro.estimation.priors import make_prior
 from repro.estimation.registry import register
 from repro.optimize.ipf import kl_divergence
+from repro.resilience.budget import budget_tick
 from repro.routing.backends import RoutingBackend
 
 __all__ = ["EntropyEstimator"]
@@ -156,6 +157,7 @@ class EntropyEstimator(Estimator):
         weight = 1.0 / self.regularization
 
         def objective_and_gradient(x: np.ndarray) -> tuple[float, np.ndarray]:
+            budget_tick()
             residual = reduced.matvec(x) - snapshot
             fit_term = float(residual @ residual)
             ratio = np.maximum(x, _POSITIVE_FLOOR) / reduced_prior
@@ -232,6 +234,7 @@ class EntropyEstimator(Estimator):
         value = objective(x)
         gradient_scale = max(1.0, kl_weight)
         for iteration in range(1, max_iterations + 1):
+            budget_tick()
             safe_x = np.maximum(x, _POSITIVE_FLOOR)
             gradient = gram2 @ x - linear2 + kl_weight * np.log(safe_x / reduced_prior)
             if float(np.abs(gradient).max(initial=0.0)) <= gradient_tolerance * gradient_scale:

@@ -36,6 +36,7 @@ analysis shows is the stable, gravity-like part of the traffic.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Mapping, Optional, Union
 
 import numpy as np
@@ -47,10 +48,15 @@ from repro.estimation.registry import get_estimator, register
 from repro.optimize.ipf import generalized_iterative_scaling
 from repro.parallel import (
     effective_jobs,
-    payload_executor,
     release_payload,
     resolve_payload,
+    run_supervised_tasks,
     share_payload,
+)
+from repro.resilience.report import (
+    DegradationEvent,
+    DegradationReport,
+    FailureReason,
 )
 from repro.routing.routing_matrix import RoutingMatrix, build_routing_matrix
 from repro.topology.network import Network
@@ -59,19 +65,32 @@ from repro.topology.regions import aggregate_to_regions, partition_regions
 __all__ = ["ShardedEstimator"]
 
 
-def _solve_shard_pooled(index: int, payload_ref: Any) -> tuple[int, np.ndarray]:
+def _solve_shard_pooled(
+    index: int, payload_ref: Any
+) -> tuple[int, np.ndarray, Optional[FailureReason]]:
     """Pool worker: solve one shard problem from the shared payload.
 
     The payload — ``(base_estimator, shard_problems, shard_priors)`` — is
     registered once via :func:`repro.parallel.share_payload`, so the
     routing-matrix shards are inherited by fork (or shipped once per
     worker under spawn) instead of being re-pickled into every task.
+    The serial path calls this helper with the payload tuple itself
+    (:func:`~repro.parallel.resolve_payload` passes non-references
+    through), so both paths share one code path by construction.
+
+    A failing shard degrades to its prior and *reports it*: the returned
+    :class:`~repro.resilience.report.FailureReason` is ``None`` only on a
+    clean solve.  The warning is emitted by the parent (worker warnings do
+    not propagate across process boundaries).
     """
     base, problems, priors = resolve_payload(payload_ref)
     try:
-        return index, base.estimate(problems[index]).vector
-    except (EstimationError, SolverError):
-        return index, priors[index]
+        return index, base.estimate(problems[index]).vector, None
+    except (EstimationError, SolverError) as exc:  # reprolint: allow[fault-handling]
+        # Reported out-of-band: the parent warns and records the reason in
+        # the result diagnostics (see ShardedEstimator._solve_shards).
+        reason = FailureReason.from_exception(exc, spec=f"shard {index}", stage="shard")
+        return index, priors[index], reason
 
 
 @register()
@@ -97,6 +116,14 @@ class ShardedEstimator(Estimator):
     n_jobs:
         Process-pool width for the shard solves (clamped by
         :func:`repro.parallel.effective_jobs`; 1 keeps everything serial).
+    shard_timeout:
+        Per-shard wall-clock allowance (seconds) on the pooled path; a
+        shard exceeding it is resubmitted and, failing that, re-run
+        serially in the parent (``None`` disables the check).  Forwarded
+        to :func:`repro.parallel.run_supervised_tasks`.
+    max_resubmissions:
+        How many fresh pools a crashed/timed-out shard batch may get
+        before the parent re-runs the remainder serially.
     reconcile:
         Run the final iterative-scaling pass projecting the stitched
         vector onto the global link-load constraints (default ``True``).
@@ -116,6 +143,8 @@ class ShardedEstimator(Estimator):
         partitioner: Optional[Callable[[Network], Mapping[str, str]]] = None,
         num_regions: Optional[int] = None,
         n_jobs: int = 1,
+        shard_timeout: Optional[float] = None,
+        max_resubmissions: int = 1,
         reconcile: bool = True,
         reconcile_iterations: int = 200,
         reconcile_tolerance: float = 1e-6,
@@ -130,6 +159,8 @@ class ShardedEstimator(Estimator):
         self.partitioner = partitioner
         self.num_regions = num_regions
         self.n_jobs = n_jobs
+        self.shard_timeout = shard_timeout
+        self.max_resubmissions = max_resubmissions
         self.reconcile = reconcile
         self.reconcile_iterations = reconcile_iterations
         self.reconcile_tolerance = reconcile_tolerance
@@ -188,7 +219,9 @@ class ShardedEstimator(Estimator):
         """Gravity prior when edge totals exist, uniform otherwise."""
         try:
             return np.asarray(gravity_vector(problem), dtype=float)
-        except EstimationError:
+        except EstimationError:  # reprolint: allow[fault-handling]
+            # Not a degradation: problems without edge totals simply have
+            # no gravity prior, and uniform is the documented default.
             total = problem.total_traffic()
             return np.full(problem.num_pairs, total / max(problem.num_pairs, 1))
 
@@ -268,10 +301,27 @@ class ShardedEstimator(Estimator):
                 col = region_position[region_pair.destination]
                 block_aggregate[row * num_regions + col] = float(value)
             diagnostics["inter_method"] = self._base.name
-        except (EstimationError, SolverError):
+        except (EstimationError, SolverError) as exc:
             # Degenerate coarse problems (e.g. a region with no egress
-            # totals) fall back to the prior aggregates.
+            # totals) fall back to the prior aggregates — loudly.
+            reason = FailureReason.from_exception(
+                exc, spec="inter-region", stage="estimate"
+            )
+            warnings.warn(
+                "sharded estimation: inter-region solve failed, using the "
+                f"prior aggregates ({reason.describe()})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             diagnostics["inter_method"] = "prior-fallback"
+            diagnostics["inter_fallback"] = reason.describe()
+            diagnostics.setdefault("_degradation_events", []).append(
+                DegradationEvent(
+                    stage="inter-region",
+                    kind=reason.exception,
+                    detail=reason.describe(),
+                )
+            )
 
         # Disaggregate each region-pair aggregate over its member node
         # pairs proportionally to the prior (even split when the prior
@@ -378,35 +428,56 @@ class ShardedEstimator(Estimator):
 
     def _solve_shards(
         self,
+        names: list[str],
         problems: list[EstimationProblem],
         priors: list[np.ndarray],
-    ) -> list[np.ndarray]:
-        """Solve every shard, fanning over the process pool when it pays."""
+    ) -> tuple[list[np.ndarray], list[tuple[str, FailureReason]]]:
+        """Solve every shard, fanning over the process pool when it pays.
+
+        Both paths run :func:`_solve_shard_pooled` — serially it receives
+        the payload tuple directly, pooled it receives a payload reference
+        — so serial and parallel runs produce identical solutions *and*
+        identical failure reports.  The pooled path additionally survives
+        worker crashes/hangs via :func:`repro.parallel.run_supervised_tasks`
+        (resubmission, then serial re-execution), which is pool-level
+        infrastructure recovery and deliberately not recorded in the
+        result diagnostics.
+
+        Returns ``(solutions, fallbacks)`` where ``fallbacks`` lists the
+        regions that degraded to their prior, with the reason.
+        """
         jobs = effective_jobs(self.n_jobs, len(problems))
         if jobs <= 1:
-            solutions = []
-            for problem, fallback in zip(problems, priors):
-                try:
-                    solutions.append(self._base.estimate(problem).vector)
-                except (EstimationError, SolverError):
-                    solutions.append(fallback)
-            return solutions
-        payload_ref = share_payload((self._base, problems, priors))
-        try:
-            with payload_executor(jobs) as pool:
-                indexed = list(
-                    pool.map(
-                        _solve_shard_pooled,
-                        range(len(problems)),
-                        [payload_ref] * len(problems),
-                    )
+            payload: Any = (self._base, problems, priors)
+            indexed = [
+                _solve_shard_pooled(index, payload) for index in range(len(problems))
+            ]
+        else:
+            payload_ref = share_payload((self._base, problems, priors))
+            try:
+                indexed, _pool_report = run_supervised_tasks(
+                    _solve_shard_pooled,
+                    [(index, payload_ref) for index in range(len(problems))],
+                    jobs=jobs,
+                    timeout=self.shard_timeout,
+                    max_resubmissions=self.max_resubmissions,
                 )
-        finally:
-            release_payload(payload_ref)
+            finally:
+                release_payload(payload_ref)
         solutions = [np.empty(0)] * len(problems)
-        for index, vector in indexed:
+        fallbacks: list[tuple[str, FailureReason]] = []
+        for index, vector, reason in indexed:
             solutions[index] = vector
-        return solutions
+            if reason is not None:
+                region = names[index]
+                fallbacks.append((region, reason))
+                warnings.warn(
+                    f"sharded estimation: region {region!r} degraded to its "
+                    f"prior ({reason.describe()})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        return solutions, fallbacks
 
     # ------------------------------------------------------------------
     def estimate(self, problem: EstimationProblem) -> EstimationResult:
@@ -457,12 +528,41 @@ class ShardedEstimator(Estimator):
         shard_names, shard_problems, shard_priors = self._shard_problems(
             problem, region_of, intra_cols, baseline, prior
         )
-        solutions = self._solve_shards(shard_problems, shard_priors)
+        solutions, shard_fallbacks = self._solve_shards(
+            shard_names, shard_problems, shard_priors
+        )
         diagnostics["num_shards"] = len(shard_problems)
 
         stitched = baseline.copy()
         for region, solution in zip(shard_names, solutions):
             stitched[intra_cols[region]] = solution
+
+        # Degradations (inter-region fallback, shards degraded to their
+        # priors) are part of the *result*: they are deterministic
+        # properties of the computation, identical under serial and
+        # parallel execution, and a degraded estimate must say so.
+        events: list[DegradationEvent] = list(
+            diagnostics.pop("_degradation_events", [])
+        )
+        if shard_fallbacks:
+            diagnostics["shard_fallbacks"] = {
+                region: reason.describe() for region, reason in shard_fallbacks
+            }
+            events.extend(
+                DegradationEvent(
+                    stage="shard",
+                    kind="prior-fallback",
+                    detail=f"region {region}: {reason.describe()}",
+                )
+                for region, reason in shard_fallbacks
+            )
+        if events:
+            diagnostics["degradation"] = DegradationReport(
+                requested=self._base.name,
+                used=self._base.name,
+                attempts=1 + len(shard_problems),
+                events=tuple(events),
+            ).to_dict()
 
         if self.reconcile:
             # Project the stitched vector onto the *global* link-load

@@ -42,11 +42,12 @@ from repro.estimation.registry import get_estimator
 from repro.evaluation.metrics import mean_relative_error
 from repro.parallel import (
     effective_jobs,
-    payload_executor,
     release_payload,
     resolve_payload,
+    run_supervised_tasks,
     share_payload,
 )
+from repro.resilience.report import FailureReason
 from repro.traffic.matrix import TrafficMatrix
 
 __all__ = [
@@ -76,15 +77,29 @@ class ExperimentRecord:
     method:
         Method label as it appears in the paper's Table 2.
     mre:
-        Mean relative error achieved.
+        Mean relative error achieved (``NaN`` when the method was skipped).
     parameters:
         Free-form parameter description (regularisation value, window, ...).
+    failure:
+        Structured reason the method was skipped (``None`` when it ran);
+        only populated under ``skip_errors``.
+    degradation:
+        The :class:`~repro.resilience.report.DegradationReport` dict the
+        estimator attached to its diagnostics (supervised/sharded methods),
+        ``None`` for a clean run.
     """
 
     scenario: str
     method: str
     mre: float
     parameters: dict[str, float] = field(default_factory=dict)
+    failure: Optional[FailureReason] = None
+    degradation: Optional[dict] = None
+
+    @property
+    def skipped(self) -> bool:
+        """Whether the method could not run."""
+        return self.failure is not None
 
 
 @dataclass(frozen=True)
@@ -212,36 +227,69 @@ def _evaluate_spec(spec: MethodSpec, problem: Any, prior: Optional[np.ndarray]) 
     return _build_estimator(spec, prior).estimate(problem).vector
 
 
+@dataclass(frozen=True)
+class _SpecOutcome:
+    """Internal result of one guarded spec evaluation (picklable).
+
+    ``vector`` is ``None`` exactly when ``failure`` is set; ``degradation``
+    carries the estimator's own degradation-report dict when the method ran
+    but had to fall back internally (supervised/sharded estimators).
+    """
+
+    vector: Optional[np.ndarray]
+    failure: Optional[FailureReason] = None
+    degradation: Optional[dict] = None
+
+
 def _evaluate_spec_guarded(
     spec: MethodSpec, problem: Any, prior: Optional[np.ndarray], skip_errors: bool
-) -> tuple[Optional[np.ndarray], str]:
-    """One spec evaluation as a ``(vector, error)`` pair.
+) -> _SpecOutcome:
+    """One spec evaluation as a structured :class:`_SpecOutcome`.
 
-    With ``skip_errors`` an estimation or solver failure becomes a
-    ``(None, message)`` result instead of propagating, so sweeps can record
-    the method as skipped; without it the exception passes through
-    unchanged (the historical contract of :func:`run_method_specs`).  A
-    ``TypeError`` is only absorbed at construction time (params that do not
-    fit the estimator's signature, the same rule ``Scenario.sweep``
-    applies); one raised *during* estimation is a bug and always
-    propagates.
+    With ``skip_errors`` an estimation or solver failure becomes an outcome
+    carrying a :class:`~repro.resilience.report.FailureReason` (exception
+    type, message, spec, stage) instead of propagating, so sweeps can
+    record *why* the method was skipped; without it the exception passes
+    through unchanged (the historical contract of
+    :func:`run_method_specs`).  A ``TypeError`` is only absorbed at
+    construction time (params that do not fit the estimator's signature,
+    the same rule ``Scenario.sweep`` applies); one raised *during*
+    estimation is a bug and always propagates.
     """
     if not skip_errors:
-        return _evaluate_spec(spec, problem, prior), ""
+        result = _build_estimator(spec, prior).estimate(problem)
+        return _SpecOutcome(
+            vector=result.vector,
+            degradation=result.diagnostics.get("degradation"),
+        )
     try:
         estimator = _build_estimator(spec, prior)
     except (EstimationError, TypeError) as exc:
-        return None, str(exc)
+        return _SpecOutcome(
+            vector=None,
+            failure=FailureReason.from_exception(
+                exc, spec=spec.label, stage="construct"
+            ),
+        )
     try:
-        return estimator.estimate(problem).vector, ""
+        result = estimator.estimate(problem)
     except (EstimationError, SolverError) as exc:
-        return None, str(exc)
+        return _SpecOutcome(
+            vector=None,
+            failure=FailureReason.from_exception(
+                exc, spec=spec.label, stage="estimate"
+            ),
+        )
+    return _SpecOutcome(
+        vector=result.vector,
+        degradation=result.diagnostics.get("degradation"),
+    )
 
 
 def _evaluate_spec_pooled(
     spec: MethodSpec, problems_ref: Any, problem_key: Any, prior: Optional[np.ndarray],
     skip_errors: bool,
-) -> tuple[Optional[np.ndarray], str]:
+) -> _SpecOutcome:
     """Pool entry point: the shared problems arrive as a shared-payload ref.
 
     The problems (each carrying its routing matrix) are registered once via
@@ -269,7 +317,15 @@ class SpecEstimate:
     window:
         Effective series window, ``None`` for snapshot specs.
     error:
-        Why the spec was skipped (empty when it ran).
+        Human-readable reason the spec was skipped (empty when it ran);
+        kept alongside ``failure`` for backward compatibility.
+    failure:
+        Structured :class:`~repro.resilience.report.FailureReason`
+        (exception type, message, spec label, pipeline stage), ``None``
+        when the spec ran.
+    degradation:
+        The degradation-report dict the estimator attached to its
+        diagnostics (supervised/sharded methods), ``None`` for a clean run.
     """
 
     spec: MethodSpec
@@ -277,6 +333,8 @@ class SpecEstimate:
     truth: TrafficMatrix
     window: Optional[int]
     error: str = ""
+    failure: Optional[FailureReason] = None
+    degradation: Optional[dict] = None
 
     @property
     def label(self) -> str:
@@ -294,6 +352,8 @@ def estimate_method_specs(
     specs: Sequence[MethodSpec],
     n_jobs: Optional[int] = 1,
     skip_errors: bool = False,
+    task_timeout: Optional[float] = None,
+    max_resubmissions: int = 1,
 ) -> list[SpecEstimate]:
     """Evaluate method specs into estimate matrices (the shared spec engine).
 
@@ -307,12 +367,17 @@ def estimate_method_specs(
     still built exactly once, and the specs are evaluated concurrently in
     dependency waves: every spec whose ``prior_from`` estimate is already
     available runs in the current wave, so independent specs never wait on
-    each other.  The results — values and order — are identical to the
-    serial run.
+    each other.  Each wave runs through
+    :func:`repro.parallel.run_supervised_tasks`, so a worker crash or a
+    task exceeding ``task_timeout`` seconds is resubmitted (up to
+    ``max_resubmissions`` times) and finally re-executed serially instead
+    of aborting the batch.  The results — values and order — are identical
+    to the serial run.
 
     With ``skip_errors`` a failing spec yields a ``SpecEstimate`` whose
-    ``estimate`` is ``None`` (specs whose prior source failed are skipped
-    the same way) instead of raising.
+    ``estimate`` is ``None`` and whose ``failure`` carries the structured
+    reason (specs whose prior source failed are skipped the same way, with
+    ``stage="prior"``) instead of raising.
     """
     labels = [spec.label for spec in specs]
     prior_source: dict[int, int] = {}
@@ -353,21 +418,30 @@ def estimate_method_specs(
     def problem_key(spec: MethodSpec) -> tuple[str, Optional[int]]:
         return (spec.data, _spec_window(spec, scenario))
 
-    def skipped_prior(position: int) -> tuple[None, str]:
+    def skipped_prior(position: int) -> _SpecOutcome:
         source = prior_source[position]
-        return None, (
-            f"prior spec {specs[position].prior_from!r} was skipped: "
-            f"{results[source][1]}"
+        source_failure = results[source].failure
+        return _SpecOutcome(
+            vector=None,
+            failure=FailureReason(
+                exception="PriorUnavailable",
+                message=(
+                    f"prior spec {specs[position].prior_from!r} was skipped: "
+                    f"{source_failure.message if source_failure else 'no estimate'}"
+                ),
+                spec=specs[position].label,
+                stage="prior",
+            ),
         )
 
-    results: dict[int, tuple[Optional[np.ndarray], str]] = {}
+    results: dict[int, _SpecOutcome] = {}
     jobs = effective_jobs(n_jobs, len(specs), error=EstimationError)
     if jobs == 1:
         for position, spec in enumerate(specs):
             problem, _, _ = resolve_data(spec)
             prior = None
             if position in prior_source:
-                prior = results[prior_source[position]][0]
+                prior = results[prior_source[position]].vector
                 if prior is None:
                     results[position] = skipped_prior(position)
                     continue
@@ -381,47 +455,64 @@ def estimate_method_specs(
         problems_ref = share_payload(shared_problems)
         pending = list(range(len(specs)))
         try:
-            with payload_executor(jobs) as pool:
-                while pending:
-                    wave = [
-                        position
-                        for position in pending
-                        if prior_source.get(position, -1) in results
-                        or position not in prior_source
-                    ]
-                    futures = {}
-                    for position in wave:
-                        prior = None
-                        if position in prior_source:
-                            prior = results[prior_source[position]][0]
-                            if prior is None:
-                                results[position] = skipped_prior(position)
-                                continue
-                        futures[position] = pool.submit(
-                            _evaluate_spec_pooled,
-                            specs[position],
-                            problems_ref,
-                            problem_key(specs[position]),
-                            prior,
-                            skip_errors,
-                        )
-                    for position, future in futures.items():
-                        results[position] = future.result()
-                    pending = [position for position in pending if position not in wave]
+            while pending:
+                wave = [
+                    position
+                    for position in pending
+                    if prior_source.get(position, -1) in results
+                    or position not in prior_source
+                ]
+                runnable: list[int] = []
+                wave_priors: dict[int, Optional[np.ndarray]] = {}
+                for position in wave:
+                    prior = None
+                    if position in prior_source:
+                        prior = results[prior_source[position]].vector
+                        if prior is None:
+                            results[position] = skipped_prior(position)
+                            continue
+                    wave_priors[position] = prior
+                    runnable.append(position)
+                if runnable:
+                    wave_results, _pool_report = run_supervised_tasks(
+                        _evaluate_spec_pooled,
+                        [
+                            (
+                                specs[position],
+                                problems_ref,
+                                problem_key(specs[position]),
+                                wave_priors[position],
+                                skip_errors,
+                            )
+                            for position in runnable
+                        ],
+                        jobs=jobs,
+                        timeout=task_timeout,
+                        max_resubmissions=max_resubmissions,
+                    )
+                    for position, outcome in zip(runnable, wave_results):
+                        results[position] = outcome
+                pending = [position for position in pending if position not in wave]
         finally:
             release_payload(problems_ref)
 
     estimates: list[SpecEstimate] = []
     for position, spec in enumerate(specs):
         problem, truth, window = resolve_data(spec)
-        vector, error = results[position]
+        outcome = results[position]
         estimates.append(
             SpecEstimate(
                 spec=spec,
-                estimate=None if vector is None else TrafficMatrix(problem.pairs, vector),
+                estimate=(
+                    None
+                    if outcome.vector is None
+                    else TrafficMatrix(problem.pairs, outcome.vector)
+                ),
                 truth=truth,
                 window=window,
-                error=error,
+                error=outcome.failure.describe() if outcome.failure else "",
+                failure=outcome.failure,
+                degradation=outcome.degradation,
             )
         )
     return estimates
@@ -431,21 +522,37 @@ def run_method_specs(
     scenario: Scenario,
     specs: Sequence[MethodSpec],
     n_jobs: Optional[int] = 1,
+    skip_errors: bool = False,
+    task_timeout: Optional[float] = None,
 ) -> list[ExperimentRecord]:
     """Run every method spec on ``scenario`` and record its MRE.
 
     Thin scoring wrapper over :func:`estimate_method_specs` (see there for
     the data-sharing and ``n_jobs`` wave semantics); the records — values
-    and order — are identical between serial and parallel runs.
+    and order — are identical between serial and parallel runs.  With
+    ``skip_errors`` a failing spec becomes a record with ``NaN`` MRE and a
+    structured ``failure`` instead of raising.
     """
     records: list[ExperimentRecord] = []
-    for result in estimate_method_specs(scenario, specs, n_jobs=n_jobs):
+    for result in estimate_method_specs(
+        scenario,
+        specs,
+        n_jobs=n_jobs,
+        skip_errors=skip_errors,
+        task_timeout=task_timeout,
+    ):
         records.append(
             ExperimentRecord(
                 scenario=scenario.name,
                 method=result.label,
-                mre=mean_relative_error(result.estimate, result.truth),
+                mre=(
+                    float("nan")
+                    if result.skipped
+                    else mean_relative_error(result.estimate, result.truth)
+                ),
                 parameters=_recorded_parameters(result.spec, result.window),
+                failure=result.failure,
+                degradation=result.degradation,
             )
         )
     return records
@@ -527,6 +634,11 @@ class RobustnessRecord:
         busy-window mean (``NaN`` when the method was skipped).
     error:
         Why the method was skipped (empty when it ran).
+    failure:
+        Structured skip reason (``None`` when the method ran).
+    degradation:
+        Degradation-report dict from the method's diagnostics
+        (supervised/sharded methods), ``None`` for a clean run.
     """
 
     scenario: str
@@ -535,6 +647,8 @@ class RobustnessRecord:
     loss_probability: float
     mre: float
     error: str = ""
+    failure: Optional[FailureReason] = None
+    degradation: Optional[dict] = None
 
     @property
     def skipped(self) -> bool:
@@ -551,6 +665,8 @@ def _robustness_cell(
     num_pollers: int,
     seed: Optional[int],
     skip_errors: bool,
+    fault_plan: Optional[Any] = None,
+    counter_bits: int = 64,
 ) -> list[RobustnessRecord]:
     """One ``(scenario, jitter, loss)`` grid cell, as its own unit of work.
 
@@ -562,6 +678,8 @@ def _robustness_cell(
         loss_probability=float(loss),
         num_pollers=num_pollers,
         seed=seed,
+        fault_plan=fault_plan,
+        counter_bits=counter_bits,
     )
     return [
         RobustnessRecord(
@@ -571,6 +689,8 @@ def _robustness_cell(
             loss_probability=float(loss),
             mre=sweep_record.mre,
             error=sweep_record.error,
+            failure=sweep_record.failure,
+            degradation=sweep_record.degradation,
         )
         for sweep_record in measured.sweep(
             methods=methods,
@@ -590,6 +710,10 @@ def robustness_sweep(
     seed: Optional[int] = 0,
     skip_errors: bool = True,
     n_jobs: Optional[int] = 1,
+    fault_plan: Optional[Any] = None,
+    counter_bits: int = 64,
+    task_timeout: Optional[float] = None,
+    max_resubmissions: int = 1,
 ) -> list[RobustnessRecord]:
     """Score estimation methods on measured data across noise levels.
 
@@ -619,6 +743,16 @@ def robustness_sweep(
         ``None`` = all cores).  Every cell is independent — same seed, own
         collection run — so the parallel records are identical to the
         serial ones, in the same grid order.
+    fault_plan, counter_bits:
+        Forwarded to :meth:`~repro.datasets.scenarios.Scenario.measured`:
+        a :class:`~repro.resilience.faults.FaultPlan` corrupts every cell's
+        collection run the same deterministic way, and ``counter_bits=32``
+        collects through wrapping Counter32 counters.
+    task_timeout, max_resubmissions:
+        Pool supervision knobs (see
+        :func:`repro.parallel.run_supervised_tasks`): per-cell timeout in
+        seconds and resubmission budget before the parent re-runs a cell
+        serially.
     """
     if isinstance(scenarios, Scenario):
         scenarios = [scenarios]
@@ -629,28 +763,27 @@ def robustness_sweep(
         for loss in loss_values
     ]
     jobs = effective_jobs(n_jobs, len(cells), error=EstimationError)
-    if jobs == 1:
-        cell_records = [
-            _robustness_cell(
-                scenario, jitter, loss, methods, window_length, num_pollers, seed, skip_errors
+    cell_records, _pool_report = run_supervised_tasks(
+        _robustness_cell,
+        [
+            (
+                scenario,
+                jitter,
+                loss,
+                methods,
+                window_length,
+                num_pollers,
+                seed,
+                skip_errors,
+                fault_plan,
+                counter_bits,
             )
             for scenario, jitter, loss in cells
-        ]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            cell_records = list(
-                pool.map(
-                    _robustness_cell,
-                    *zip(*cells),
-                    [methods] * len(cells),
-                    [window_length] * len(cells),
-                    [num_pollers] * len(cells),
-                    [seed] * len(cells),
-                    [skip_errors] * len(cells),
-                )
-            )
+        ],
+        jobs=jobs,
+        timeout=task_timeout,
+        max_resubmissions=max_resubmissions,
+    )
     return [record for cell in cell_records for record in cell]
 
 

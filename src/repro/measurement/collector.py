@@ -173,6 +173,15 @@ class DistributedCollector:
         Forwarded to :func:`~repro.measurement.snmp.rates_from_poll_matrix`:
         raise when more than this fraction of a poller's samples had to be
         interpolated (the default ``1.0`` never raises).
+    counter_bits:
+        Counter width forwarded to every poller (64 for Counter64, 32 for
+        legacy Counter32).
+    fault_plan:
+        Optional seeded fault plan (duck-typed; see
+        :class:`repro.resilience.FaultPlan`).  Each poller receives the
+        plan resolved for its own index (``plan.for_poller(idx)``) with its
+        index as fault salt, so collector outages hit the right poller and
+        probabilistic faults draw reproducible per-poller streams.
     """
 
     def __init__(
@@ -184,6 +193,8 @@ class DistributedCollector:
         loss_probability: float = 0.0,
         seed: Optional[int] = None,
         max_interpolated_fraction: float = 1.0,
+        counter_bits: int = 64,
+        fault_plan: Optional[object] = None,
     ) -> None:
         if num_pollers < 1:
             raise MeasurementError("need at least one poller")
@@ -214,6 +225,11 @@ class DistributedCollector:
         for poller_idx, columns in enumerate(assignments):
             if not len(columns):
                 continue
+            poller_plan = (
+                fault_plan.for_poller(poller_idx)
+                if fault_plan is not None and hasattr(fault_plan, "for_poller")
+                else fault_plan
+            )
             self.pollers.append(
                 SNMPPoller(
                     object_names=[all_objects[col] for col in columns],
@@ -221,6 +237,9 @@ class DistributedCollector:
                     jitter_std_seconds=jitter_std_seconds,
                     loss_probability=loss_probability,
                     seed=base_seed + poller_idx,
+                    counter_bits=counter_bits,
+                    fault_plan=poller_plan,
+                    fault_salt=poller_idx,
                 )
             )
             self._assigned_columns.append(columns)

@@ -150,6 +150,10 @@ class PollMatrix:
         where ``lost`` is true are undefined (stored as zero).
     lost:
         Boolean UDP-loss mask, shape ``(rounds, objects)``.
+    counter_bits:
+        Width of the underlying MIB counters (64 for Counter64, 32 for the
+        legacy ifInOctets Counter32).  Rate derivation wraps deltas modulo
+        ``2**counter_bits``.
     """
 
     object_names: tuple[str, ...]
@@ -157,6 +161,7 @@ class PollMatrix:
     response_times: np.ndarray
     counters: np.ndarray
     lost: np.ndarray
+    counter_bits: int = 64
 
     def __post_init__(self) -> None:
         rounds = len(self.scheduled_times)
@@ -167,6 +172,10 @@ class PollMatrix:
                     f"poll matrix field {attribute} has shape "
                     f"{getattr(self, attribute).shape}, expected {shape}"
                 )
+        if not 1 <= self.counter_bits <= 64:
+            raise MeasurementError(
+                f"counter_bits must lie in [1, 64], got {self.counter_bits}"
+            )
 
     @property
     def num_rounds(self) -> int:
@@ -183,6 +192,7 @@ class PollMatrix:
         cls,
         poll_rounds: Sequence[Sequence[PollResult]],
         object_names: Sequence[str],
+        counter_bits: int = 64,
     ) -> "PollMatrix":
         """Assemble a matrix from per-round :class:`PollResult` lists.
 
@@ -206,13 +216,14 @@ class PollMatrix:
                 if result.lost:
                     lost[row, col] = True
                 else:
-                    counters[row, col] = np.uint64(result.counter_bytes % _COUNTER64_WRAP)
+                    counters[row, col] = np.uint64(result.counter_bytes % (2**counter_bits))
         return cls(
             object_names=names,
             scheduled_times=scheduled,
             response_times=response,
             counters=counters,
             lost=lost,
+            counter_bits=counter_bits,
         )
 
     def round_results(self, index: int) -> list[PollResult]:
@@ -254,7 +265,15 @@ class RateDiagnostics:
         responses (``elapsed <= 0``), so no rate can be derived.
     interpolated_samples:
         Samples filled by interpolation from neighbouring valid samples
-        (every lost or degenerate sample is filled, so this equals their sum).
+        (every lost, degenerate or reset-invalidated sample is filled, so
+        this equals their sum).
+    reset_samples:
+        Samples discarded because the counter went backwards by more than
+        half the counter space — a device reset/reboot rather than a wrap.
+    wrap_samples:
+        Samples where the counter went backwards by *less* than half the
+        counter space: a legitimate modulo-``2**counter_bits`` wrap whose
+        delta was recovered (these samples stay valid).
     """
 
     num_intervals: int
@@ -262,6 +281,8 @@ class RateDiagnostics:
     lost_samples: int
     degenerate_samples: int
     interpolated_samples: int
+    reset_samples: int = 0
+    wrap_samples: int = 0
 
     @property
     def total_samples(self) -> int:
@@ -285,6 +306,8 @@ class RateDiagnostics:
             lost_samples=self.lost_samples + other.lost_samples,
             degenerate_samples=self.degenerate_samples + other.degenerate_samples,
             interpolated_samples=self.interpolated_samples + other.interpolated_samples,
+            reset_samples=self.reset_samples + other.reset_samples,
+            wrap_samples=self.wrap_samples + other.wrap_samples,
         )
 
 
@@ -308,6 +331,16 @@ class SNMPPoller:
         Probability that an individual poll is lost (SNMP over UDP).
     seed:
         Seed of the internal random generator.
+    counter_bits:
+        Width of the simulated MIB counters: 64 (Counter64, the default) or
+        32 (legacy Counter32 / ifInOctets), which wraps every 2**32 bytes.
+    fault_plan:
+        Optional seeded fault plan (duck-typed; see
+        :class:`repro.resilience.FaultPlan`).  Applied to every poll matrix
+        this poller produces, after the clean schedule ran.
+    fault_salt:
+        Salt mixed into the fault plan's generator so several pollers under
+        one plan draw distinct, reproducible fault streams.
     """
 
     def __init__(
@@ -317,6 +350,9 @@ class SNMPPoller:
         jitter_std_seconds: float = 2.0,
         loss_probability: float = 0.0,
         seed: Optional[int] = None,
+        counter_bits: int = 64,
+        fault_plan: Optional[object] = None,
+        fault_salt: int = 0,
     ) -> None:
         if not object_names:
             raise MeasurementError("poller needs at least one object to poll")
@@ -328,10 +364,15 @@ class SNMPPoller:
             raise MeasurementError("jitter_std_seconds must be non-negative")
         if not 0 <= loss_probability < 1:
             raise MeasurementError("loss_probability must lie in [0, 1)")
+        if counter_bits not in (32, 64):
+            raise MeasurementError("counter_bits must be 32 or 64")
         self.object_names = tuple(object_names)
         self.interval_seconds = float(interval_seconds)
         self.jitter_std_seconds = float(jitter_std_seconds)
         self.loss_probability = float(loss_probability)
+        self.counter_bits = int(counter_bits)
+        self.fault_plan = fault_plan
+        self.fault_salt = int(fault_salt)
         self._rng = np.random.default_rng(seed)
         self._values = np.zeros(len(self.object_names), dtype=np.uint64)
         self._column = {name: col for col, name in enumerate(self.object_names)}
@@ -386,6 +427,8 @@ class SNMPPoller:
         rates = self._rates_array(rates_mbps)
         added = np.rint(rates * (_BYTES_PER_MBPS_SECOND * duration_seconds))
         self._values = self._values + added.astype(np.uint64)
+        if self.counter_bits < 64:
+            self._values %= np.uint64(2**self.counter_bits)
 
     def _poll_arrays(self, scheduled_time: float) -> tuple[np.ndarray, np.ndarray]:
         """One poll round: jittered response times and the loss mask."""
@@ -443,6 +486,8 @@ class SNMPPoller:
         counters = np.empty((num_intervals + 1, self.num_objects), dtype=np.uint64)
         counters[0] = self._values
         counters[1:] = self._values + np.cumsum(added.astype(np.uint64), axis=0)
+        if self.counter_bits < 64:
+            counters %= np.uint64(2**self.counter_bits)
         self._values = counters[-1].copy()
 
         scheduled = start_time + self.interval_seconds * np.arange(num_intervals + 1)
@@ -450,13 +495,17 @@ class SNMPPoller:
         lost = np.empty((num_intervals + 1, self.num_objects), dtype=bool)
         for row in range(num_intervals + 1):
             response[row], lost[row] = self._poll_arrays(float(scheduled[row]))
-        return PollMatrix(
+        polls = PollMatrix(
             object_names=self.object_names,
             scheduled_times=scheduled,
             response_times=response,
             counters=counters,
             lost=lost,
+            counter_bits=self.counter_bits,
         )
+        if self.fault_plan is not None:
+            polls = self.fault_plan.apply_to_polls(polls, salt=self.fault_salt)
+        return polls
 
     def run_schedule(
         self,
@@ -496,6 +545,14 @@ def rates_from_poll_matrix(
     extrapolation at the boundaries), and both kinds are counted separately
     in the returned :class:`RateDiagnostics`.
 
+    Counter deltas are wrap-aware: a counter that goes *backwards* between
+    two valid polls either wrapped modulo ``2**polls.counter_bits`` (the
+    modular delta stays below half the counter space — kept as a valid
+    sample, counted in ``wrap_samples``) or was reset by a device reboot
+    (the modular delta exceeds half the counter space, which no plausible
+    rate produces in one interval — the sample is invalidated, counted in
+    ``reset_samples`` and interpolated like a lost poll).
+
     Parameters
     ----------
     polls:
@@ -515,12 +572,23 @@ def rates_from_poll_matrix(
         raise MeasurementError("max_interpolated_fraction must lie in [0, 1]")
     num_intervals = polls.num_rounds - 1
 
-    # uint64 subtraction wraps modulo 2**64 exactly like the Counter64 MIB.
+    # uint64 subtraction wraps modulo 2**64 exactly like the Counter64 MIB;
+    # narrower counters (Counter32) reduce the same difference modulo their
+    # own space, which recovers the true delta across a legitimate wrap.
     deltas = polls.counters[1:] - polls.counters[:-1]
+    if polls.counter_bits < 64:
+        deltas = deltas % np.uint64(2**polls.counter_bits)
+    backwards = polls.counters[1:] < polls.counters[:-1]
+    half_space = np.uint64(2 ** (polls.counter_bits - 1))
+
     elapsed = polls.response_times[1:] - polls.response_times[:-1]
     pair_lost = polls.lost[1:] | polls.lost[:-1]
     degenerate = ~pair_lost & (elapsed <= 0)
-    valid = ~pair_lost & ~degenerate
+    # A backwards counter whose modular delta exceeds half the counter
+    # space is a reset (reboot), not a wrap: the sample is unusable.
+    reset = ~pair_lost & ~degenerate & backwards & (deltas > half_space)
+    wrapped = ~pair_lost & ~degenerate & backwards & ~reset
+    valid = ~pair_lost & ~degenerate & ~reset
 
     rates = np.full((num_intervals, polls.num_objects), np.nan)
     rates[valid] = (
@@ -538,6 +606,8 @@ def rates_from_poll_matrix(
         lost_samples=int(pair_lost.sum()),
         degenerate_samples=int(degenerate.sum()),
         interpolated_samples=int((~valid).sum()),
+        reset_samples=int(reset.sum()),
+        wrap_samples=int(wrapped.sum()),
     )
     if diagnostics.interpolated_fraction > max_interpolated_fraction:
         raise MeasurementError(
@@ -559,6 +629,7 @@ def rates_from_polls(
     object_names: Sequence[str],
     max_interpolated_fraction: float = 1.0,
     return_diagnostics: bool = False,
+    counter_bits: int = 64,
 ) -> Union[np.ndarray, tuple[np.ndarray, RateDiagnostics]]:
     """Convert consecutive poll rounds into interval rates in Mbit/s.
 
@@ -567,7 +638,7 @@ def rates_from_polls(
     ``(K, num_objects)`` for ``K + 1`` poll rounds, or
     ``(rates, diagnostics)`` when ``return_diagnostics`` is set.
     """
-    matrix = PollMatrix.from_rounds(poll_rounds, object_names)
+    matrix = PollMatrix.from_rounds(poll_rounds, object_names, counter_bits=counter_bits)
     rates, diagnostics = rates_from_poll_matrix(
         matrix, max_interpolated_fraction=max_interpolated_fraction
     )

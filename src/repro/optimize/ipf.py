@@ -25,6 +25,7 @@ import numpy as np
 import scipy.sparse
 
 from repro.errors import SolverError
+from repro.resilience.budget import budget_tick
 
 __all__ = [
     "IPFResult",
@@ -124,6 +125,7 @@ def kruithof_scaling(
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
+        budget_tick()
         row_sums = values.sum(axis=1)
         with np.errstate(divide="ignore", invalid="ignore"):
             row_factors = np.where(row_sums > 0, row_targets / row_sums, 0.0)
@@ -194,6 +196,7 @@ def kruithof_scaling_batch(
     active = np.ones(num_batch, dtype=bool)
     iterations = 0
     while iterations < max_iterations and np.any(active):
+        budget_tick()
         iterations += 1
         block = values[active]
         row_sums = block.sum(axis=2)
@@ -279,6 +282,7 @@ def generalized_iterative_scaling(
     iterations = 0
     scale = max(float(link_loads.max(initial=0.0)), 1e-12)
     for iterations in range(1, max_iterations + 1):
+        budget_tick()
         predicted = routing_matrix @ values
         with np.errstate(divide="ignore", invalid="ignore"):
             ratios = np.where(predicted > 0, link_loads / predicted, 1.0)

@@ -411,7 +411,9 @@ def _make_bound_solver(csc: scipy.sparse.csc_matrix, rhs: np.ndarray):
     """Prefer the incremental engine; fall back to per-LP ``linprog``."""
     try:
         return _IncrementalBoundSolver(csc, rhs), "highs-incremental"
-    except SolverError:
+    # The fallback is recorded in the returned engine label, which the
+    # batch surfaces in its diagnostics.
+    except SolverError:  # reprolint: allow[fault-handling]
         return _LinprogBoundSolver(csc, rhs), "linprog"
 
 

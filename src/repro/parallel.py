@@ -46,9 +46,13 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Optional, Type
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Type
 
 import numpy as np
 
@@ -59,6 +63,11 @@ __all__ = [
     "resolve_payload",
     "release_payload",
     "payload_executor",
+    "PoolTaskEvent",
+    "PoolReport",
+    "run_supervised_tasks",
+    "install_worker_faults",
+    "clear_worker_faults",
 ]
 
 
@@ -197,3 +206,235 @@ def payload_executor(max_workers: int) -> ProcessPoolExecutor:
         initializer=_payload_initializer,
         initargs=(dict(_PAYLOADS),),
     )
+
+
+# ----------------------------------------------------------------------
+# worker fault injection (chaos testing)
+# ----------------------------------------------------------------------
+
+#: Reserved payload slot for the installed worker fault plan.  Real payload
+#: tokens start at 1 (see ``_TOKEN_COUNTER``), so slot 0 can never collide,
+#: and riding in the payload registry means the plan reaches workers through
+#: the exact same fork/spawn channel as every other payload.
+_WORKER_FAULTS_TOKEN = 0
+
+
+def install_worker_faults(plan: Any) -> None:
+    """Install a :class:`repro.resilience.WorkerFaultPlan` for pool workers.
+
+    The plan is duck-typed: anything with a ``fires(task_index,
+    round_number)`` method returning ``"crash"``, ``"hang"`` or ``None``
+    (and a ``hang_seconds`` attribute) works.  Faults only ever fire inside
+    pool worker processes — the parent running a task serially is immune,
+    so the serial re-execution safety net always succeeds.
+
+    Install *before* creating pools; pair with :func:`clear_worker_faults`.
+    """
+    _PAYLOADS[_WORKER_FAULTS_TOKEN] = plan
+
+
+def clear_worker_faults() -> None:
+    """Remove any installed worker fault plan (idempotent)."""
+    _PAYLOADS.pop(_WORKER_FAULTS_TOKEN, None)
+
+
+def _maybe_worker_fault(task_index: int, round_number: int) -> None:
+    """Fire the installed fault for this task, if any — workers only."""
+    plan = _PAYLOADS.get(_WORKER_FAULTS_TOKEN)
+    if plan is None:
+        return
+    if multiprocessing.parent_process() is None:
+        return  # parent process: serial fallback must never fault
+    action = plan.fires(task_index, round_number)
+    if action == "crash":
+        os._exit(70)  # hard kill, like an OOM-killed or segfaulted worker
+    elif action == "hang":
+        time.sleep(float(getattr(plan, "hang_seconds", 30.0)))
+
+
+def _run_supervised_task(
+    worker: Callable[..., Any], task_index: int, round_number: int, args: tuple
+) -> Any:
+    """Module-level pool target: apply injected faults, then run the task."""
+    _maybe_worker_fault(task_index, round_number)
+    return worker(*args)
+
+
+# ----------------------------------------------------------------------
+# supervised pool execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolTaskEvent:
+    """One pool-level incident during :func:`run_supervised_tasks`.
+
+    ``kind`` is ``"broken-pool"`` (a worker died), ``"timeout"`` (a task
+    exceeded the per-task allowance), ``"resubmitted"`` (the affected tasks
+    went back to a fresh pool) or ``"serial-rerun"`` (the parent re-ran
+    them itself).
+    """
+
+    kind: str
+    round_number: int
+    task_indices: tuple[int, ...]
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class PoolReport:
+    """Out-of-band account of what the pool layer had to work around.
+
+    Pool incidents are *infrastructure* degradation, not properties of the
+    computed records — a serial run has no pool and must produce identical
+    records — so they are reported here (and as ``RuntimeWarning``s) rather
+    than written into task results.
+    """
+
+    events: tuple[PoolTaskEvent, ...] = field(default_factory=tuple)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events)
+
+    def describe(self) -> str:
+        if not self.events:
+            return "pool: clean run"
+        return "; ".join(
+            f"{event.kind} (round {event.round_number}, "
+            f"tasks {list(event.task_indices)}): {event.detail}"
+            for event in self.events
+        )
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a broken or hung pool without waiting on its workers."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+
+def run_supervised_tasks(
+    worker: Callable[..., Any],
+    task_args: Sequence[tuple],
+    *,
+    jobs: int,
+    timeout: Optional[float] = None,
+    max_resubmissions: int = 1,
+) -> tuple[list, PoolReport]:
+    """Run independent tasks with pool-failure supervision.
+
+    ``worker(*task_args[i])`` runs for every ``i`` — in the parent when
+    ``jobs <= 1``, otherwise on a :func:`payload_executor` pool.  The pool
+    path survives infrastructure failures that would normally abort the
+    whole batch:
+
+    * a task exceeding ``timeout`` seconds (``None`` disables the check),
+    * a worker process dying (``BrokenProcessPool``).
+
+    Affected tasks are resubmitted to a fresh pool up to
+    ``max_resubmissions`` times; whatever still fails is re-executed
+    *serially in the parent*, which cannot crash-fault (injected worker
+    faults never fire outside pool workers) and has no timeout.  Exceptions
+    raised by the task function itself propagate unchanged, exactly as in a
+    serial run.
+
+    Returns ``(results, report)`` with results in task order.  Pool-level
+    incidents are recorded on the :class:`PoolReport` and emitted as
+    ``RuntimeWarning``s; they are deliberately kept out of the task results
+    so serial and parallel runs produce identical records.
+    """
+    task_args = [tuple(args) for args in task_args]
+    results: list = [None] * len(task_args)
+    if jobs <= 1 or len(task_args) <= 1:
+        for index, args in enumerate(task_args):
+            results[index] = worker(*args)
+        return results, PoolReport()
+
+    events: list[PoolTaskEvent] = []
+    pending = list(range(len(task_args)))
+    for round_number in range(max_resubmissions + 1):
+        if not pending:
+            break
+        if round_number > 0:
+            events.append(
+                PoolTaskEvent(
+                    kind="resubmitted",
+                    round_number=round_number,
+                    task_indices=tuple(pending),
+                    detail=f"fresh pool, attempt {round_number + 1}",
+                )
+            )
+        pool = payload_executor(min(jobs, len(pending)))
+        futures = {
+            index: pool.submit(
+                _run_supervised_task, worker, index, round_number, task_args[index]
+            )
+            for index in pending
+        }
+        failed: list[int] = []
+        pool_broken = False
+        for index in pending:
+            if pool_broken:
+                # After a pool break every unfinished future fails fast;
+                # harvest the ones that completed before the crash.
+                future = futures[index]
+                if future.done() and future.exception() is None:
+                    results[index] = future.result()
+                else:
+                    failed.append(index)
+                continue
+            try:
+                results[index] = futures[index].result(timeout=timeout)
+            except _FuturesTimeout:
+                failed.append(index)
+                events.append(
+                    PoolTaskEvent(
+                        kind="timeout",
+                        round_number=round_number,
+                        task_indices=(index,),
+                        detail=f"task exceeded {timeout}s",
+                    )
+                )
+            except BrokenProcessPool as exc:
+                pool_broken = True
+                failed.append(index)
+                events.append(
+                    PoolTaskEvent(
+                        kind="broken-pool",
+                        round_number=round_number,
+                        task_indices=(index,),
+                        detail=str(exc) or "worker process died",
+                    )
+                )
+        if failed or pool_broken:
+            _abandon_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+        pending = failed
+
+    if pending:
+        events.append(
+            PoolTaskEvent(
+                kind="serial-rerun",
+                round_number=max_resubmissions + 1,
+                task_indices=tuple(pending),
+                detail="re-executed in the parent process",
+            )
+        )
+        for index in pending:
+            results[index] = worker(*task_args[index])
+
+    report = PoolReport(events=tuple(events))
+    if report.degraded:
+        warnings.warn(
+            f"pool degradation: {report.describe()}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return results, report

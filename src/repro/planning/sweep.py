@@ -43,14 +43,15 @@ from repro.evaluation.experiments import (
 )
 from repro.parallel import (
     effective_jobs,
-    payload_executor,
     release_payload,
     resolve_payload,
+    run_supervised_tasks,
     share_payload,
 )
 from repro.planning.failures import FailureCase, enumerate_failures
 from repro.planning.projection import LoadProjection
 from repro.planning.whatif import WhatIfEngine
+from repro.resilience.report import FailureReason
 
 __all__ = [
     "PlanningRecord",
@@ -90,6 +91,11 @@ class PlanningRecord:
     error:
         Why the method was skipped on this scenario (empty when it ran);
         skipped records carry ``NaN`` utilisation numbers.
+    failure:
+        Structured skip reason (``None`` when the method ran).
+    degradation:
+        Degradation-report dict from the method's diagnostics
+        (supervised/sharded estimators), ``None`` for a clean run.
     """
 
     scenario: str
@@ -107,6 +113,8 @@ class PlanningRecord:
     congestion_misses: int
     congestion_false_alarms: int
     error: str = ""
+    failure: Optional[FailureReason] = None
+    degradation: Optional[dict] = None
 
     @property
     def skipped(self) -> bool:
@@ -139,6 +147,7 @@ def _case_record(
             congestion_misses=0,
             congestion_false_alarms=0,
             error=result.error,
+            failure=result.failure,
         )
     true_congested = set(truth_projection.congested_links)
     predicted_congested = set(estimate_projection.congested_links)
@@ -162,6 +171,7 @@ def _case_record(
         congestion_hits=len(true_congested & predicted_congested),
         congestion_misses=len(true_congested - predicted_congested),
         congestion_false_alarms=len(predicted_congested - true_congested),
+        degradation=result.degradation,
     )
 
 
@@ -218,6 +228,8 @@ def failure_sweep(
     include_baseline: bool = True,
     skip_errors: bool = True,
     estimates: Optional[Sequence[SpecEstimate]] = None,
+    task_timeout: Optional[float] = None,
+    max_resubmissions: int = 1,
 ) -> list[PlanningRecord]:
     """Score estimation methods by the planning error they induce per failure.
 
@@ -255,6 +267,11 @@ def failure_sweep(
         useful when the same estimates feed several sweeps (different
         growth factors, case sets) or when the matrices come from outside
         the spec machinery.  ``specs`` and ``skip_errors`` are ignored.
+    task_timeout, max_resubmissions:
+        Pool supervision knobs (see
+        :func:`repro.parallel.run_supervised_tasks`): per-case timeout in
+        seconds and resubmission budget before the parent re-runs a case
+        serially.  Shared with the spec estimation phase.
     """
     if growth < 0:
         raise PlanningError("demand growth factor must be non-negative")
@@ -262,7 +279,12 @@ def failure_sweep(
         if specs is None:
             specs = default_method_specs(include_vardi=False)
         estimates = estimate_method_specs(
-            scenario, specs, n_jobs=n_jobs, skip_errors=skip_errors
+            scenario,
+            specs,
+            n_jobs=n_jobs,
+            skip_errors=skip_errors,
+            task_timeout=task_timeout,
+            max_resubmissions=max_resubmissions,
         )
     if cases is None:
         cases = enumerate_failures(
@@ -278,18 +300,13 @@ def failure_sweep(
     else:
         state_ref = share_payload((engine, scenario.name, estimates, growth))
         try:
-            with payload_executor(jobs) as pool:
-                # Cases are small units of work; chunking keeps the pool's
-                # message overhead negligible while preserving case order.
-                chunksize = max(1, len(cases) // (jobs * 4))
-                case_records = list(
-                    pool.map(
-                        _evaluate_case_pooled,
-                        cases,
-                        [state_ref] * len(cases),
-                        chunksize=chunksize,
-                    )
-                )
+            case_records, _pool_report = run_supervised_tasks(
+                _evaluate_case_pooled,
+                [(case, state_ref) for case in cases],
+                jobs=jobs,
+                timeout=task_timeout,
+                max_resubmissions=max_resubmissions,
+            )
         finally:
             release_payload(state_ref)
     return [record for case in case_records for record in case]

@@ -197,7 +197,9 @@ def full_rebuild_routing(
             continue
         try:
             path = router.shortest_path(pair)
-        except RoutingError:
+        # Recorded structurally: the pair joins the projection's
+        # infeasible_pairs, which every planning record reports.
+        except RoutingError:  # reprolint: allow[fault-handling]
             infeasible.append(pair)
             continue
         for link in path.links:

@@ -1,0 +1,125 @@
+"""Cooperative solver budgets.
+
+A :class:`SolverBudget` bounds how long an estimation attempt may run —
+wall-clock seconds, iterations, or both — without threads, signals or
+subprocess machinery.  The budget is *cooperative*: the inner solver loops
+(the entropy Newton solve, the FISTA projected gradient, the IPF scaling
+loops) call :func:`budget_tick` once per iteration, and the tick raises
+:class:`~repro.errors.BudgetExceededError` when the innermost active budget
+is spent.  When no budget is active the tick is a cheap no-op, so the
+solvers pay nothing outside supervised runs.
+
+Budgets nest on a thread-local stack; the innermost one wins.  That lets a
+:class:`~repro.resilience.SupervisedEstimator` give each fallback attempt
+its own allowance even when the caller already runs under a wider budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.errors import BudgetExceededError
+
+__all__ = ["SolverBudget", "current_budget", "budget_tick"]
+
+
+class _BudgetStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list["SolverBudget"] = []
+
+
+_ACTIVE = _BudgetStack()
+
+
+class SolverBudget:
+    """Context manager bounding a solver run by time and/or iterations.
+
+    Parameters
+    ----------
+    max_seconds:
+        Wall-clock allowance measured with ``time.monotonic``; ``None``
+        means unbounded.
+    max_iterations:
+        Total :func:`budget_tick` counts allowed across every solver loop
+        that runs under this budget; ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        max_seconds: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+    ) -> None:
+        if max_seconds is not None and max_seconds <= 0:
+            raise ValueError("max_seconds must be positive (or None)")
+        if max_iterations is not None and max_iterations <= 0:
+            raise ValueError("max_iterations must be positive (or None)")
+        self.max_seconds = max_seconds
+        self.max_iterations = max_iterations
+        self.ticks = 0
+        self._started: Optional[float] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "SolverBudget":
+        self._started = time.monotonic()
+        self.ticks = 0
+        _ACTIVE.stack.append(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        stack = _ACTIVE.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # tolerate out-of-order exits rather than corrupting the stack
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+
+    # -- accounting -----------------------------------------------------
+
+    def elapsed(self) -> float:
+        if self._started is None:
+            return 0.0
+        return time.monotonic() - self._started
+
+    def remaining_seconds(self) -> Optional[float]:
+        if self.max_seconds is None:
+            return None
+        return self.max_seconds - self.elapsed()
+
+    def exhausted_reason(self) -> Optional[str]:
+        """Why the budget is spent, or ``None`` while allowance remains."""
+        if self.max_iterations is not None and self.ticks >= self.max_iterations:
+            return f"iteration budget exhausted ({self.ticks} >= {self.max_iterations})"
+        if self.max_seconds is not None and self.elapsed() >= self.max_seconds:
+            return (
+                f"time budget exhausted ({self.elapsed():.3f}s >= "
+                f"{self.max_seconds:.3f}s)"
+            )
+        return None
+
+    def tick(self, count: int = 1) -> None:
+        self.ticks += count
+        reason = self.exhausted_reason()
+        if reason is not None:
+            raise BudgetExceededError(f"solver budget exceeded: {reason}")
+
+
+def current_budget() -> Optional[SolverBudget]:
+    """The innermost active budget on this thread, or ``None``."""
+    stack = _ACTIVE.stack
+    return stack[-1] if stack else None
+
+
+def budget_tick(count: int = 1) -> None:
+    """Charge ``count`` iterations against the innermost active budget.
+
+    A no-op when no budget is active, so unsupervised solver runs pay only
+    an attribute lookup and a truthiness check per iteration.
+    """
+    stack = _ACTIVE.stack
+    if stack:
+        stack[-1].tick(count)

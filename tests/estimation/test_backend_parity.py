@@ -33,6 +33,7 @@ METHOD_RTOL = {
     "vardi": 1e-3,
     "cao": 1e-4,
     "sharded": 2e-3,
+    "supervised": 1e-3,  # default primary is tomogravity
 }
 DEFAULT_RTOL = 1e-9
 

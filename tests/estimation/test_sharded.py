@@ -188,10 +188,11 @@ def test_shard_pool_worker_matches_direct_solve(europe):
     assert problems
     payload_ref = share_payload((estimator._base, problems, priors))
     try:
-        index, vector = _solve_shard_pooled(0, payload_ref)
+        index, vector, failure = _solve_shard_pooled(0, payload_ref)
     finally:
         release_payload(payload_ref)
     assert index == 0
+    assert failure is None
     np.testing.assert_allclose(vector, estimator._base.estimate(problems[0]).vector)
 
 

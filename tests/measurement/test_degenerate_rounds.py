@@ -1,0 +1,97 @@
+"""Degenerate collection rounds: minimal data, total blackouts, wraps.
+
+The contract under test: :func:`~repro.measurement.snmp.rates_from_poll_matrix`
+survives a fully lost round by interpolation, refuses an object with zero
+valid samples with a diagnosable :class:`~repro.errors.MeasurementError`,
+works from the minimum two rounds, enforces ``max_interpolated_fraction``
+under burst loss, and recovers exact rates across a mid-schedule Counter32
+wrap as long as per-interval deltas stay below half the counter space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.snmp import PollMatrix, SNMPPoller, rates_from_poll_matrix
+from repro.resilience import PollLossBurst, fault_plan
+
+OBJECTS = ("a", "b", "c")
+RATES = np.full((8, len(OBJECTS)), 10.0)  # 10 Mbit/s sustained
+
+
+def clean_polls(counter_bits: int = 64, rates: np.ndarray = RATES):
+    poller = SNMPPoller(
+        OBJECTS,
+        interval_seconds=300.0,
+        jitter_std_seconds=0.0,
+        seed=0,
+        counter_bits=counter_bits,
+    )
+    return poller.run_schedule_matrix(rates)
+
+
+def test_fully_lost_round_is_interpolated_not_fatal():
+    polls = clean_polls()
+    polls.lost[4, :] = True
+    rates, diagnostics = rates_from_poll_matrix(polls)
+    # Losing round 4 invalidates intervals 3 and 4 for every object.
+    assert diagnostics.interpolated_samples == 2 * len(OBJECTS)
+    np.testing.assert_allclose(rates, 10.0, rtol=1e-6)
+
+
+def test_object_with_no_valid_sample_raises_with_its_name():
+    polls = clean_polls()
+    polls.lost[:, 1] = True  # "b" never answers
+    with pytest.raises(MeasurementError, match="all polls lost for object 'b'"):
+        rates_from_poll_matrix(polls)
+
+
+def test_two_rounds_is_the_minimum_viable_archive():
+    polls = PollMatrix(
+        object_names=("x",),
+        scheduled_times=np.array([0.0, 300.0]),
+        response_times=np.array([[0.0], [300.0]]),
+        counters=np.array([[0], [375_000_000]], dtype=np.uint64),
+        lost=np.zeros((2, 1), dtype=bool),
+    )
+    rates, diagnostics = rates_from_poll_matrix(polls)
+    np.testing.assert_allclose(rates, [[10.0]])
+    assert diagnostics.num_intervals == 1
+
+
+def test_single_round_raises():
+    polls = PollMatrix(
+        object_names=("x",),
+        scheduled_times=np.array([0.0]),
+        response_times=np.array([[0.0]]),
+        counters=np.zeros((1, 1), dtype=np.uint64),
+        lost=np.zeros((1, 1), dtype=bool),
+    )
+    with pytest.raises(MeasurementError, match="at least two poll rounds"):
+        rates_from_poll_matrix(polls)
+
+
+def test_interpolated_fraction_guard_fires_under_burst_loss():
+    plan = fault_plan(PollLossBurst(start_round=2, num_rounds=4))
+    polls = plan.apply_to_polls(clean_polls())
+    # 4 blacked-out rounds poison 5 of 8 intervals per object.
+    with pytest.raises(MeasurementError, match="exceeding the allowed fraction"):
+        rates_from_poll_matrix(polls, max_interpolated_fraction=0.25)
+    # The same archive passes once the operator accepts the degradation.
+    rates, diagnostics = rates_from_poll_matrix(polls, max_interpolated_fraction=0.7)
+    assert diagnostics.interpolated_samples == 5 * len(OBJECTS)
+    np.testing.assert_allclose(rates, 10.0, rtol=1e-6)
+
+
+def test_mid_schedule_counter32_wrap_matches_counter64():
+    # 14 intervals x 3.75e8 bytes overruns 2**32 part-way through the
+    # schedule; each per-interval delta stays below 2**31, so every wrap
+    # is unambiguous and the narrow counter loses nothing.
+    long_rates = np.full((14, len(OBJECTS)), 10.0)
+    wide, _ = rates_from_poll_matrix(clean_polls(64, long_rates))
+    narrow, diagnostics = rates_from_poll_matrix(clean_polls(32, long_rates))
+    assert diagnostics.wrap_samples >= len(OBJECTS)
+    assert diagnostics.reset_samples == 0
+    np.testing.assert_allclose(narrow, wide)

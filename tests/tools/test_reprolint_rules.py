@@ -487,6 +487,117 @@ class TestRegistryContracts:
         ) == []
 
 
+class TestFaultHandling:
+    def test_silent_swallow_is_flagged(self, lint):
+        found = lint(
+            """
+            from repro.errors import EstimationError, SolverError
+
+            def solve(estimator, problem, prior):
+                try:
+                    return estimator.estimate(problem).vector
+                except (EstimationError, SolverError):
+                    return prior
+            """
+        )
+        assert codes(found) == ["REPRO501"]
+        assert found[0].line == 7
+        assert "EstimationError" in found[0].message
+
+    def test_reraise_passes(self, lint):
+        found = lint(
+            """
+            from repro.errors import EstimationError
+
+            def solve(estimator, problem):
+                try:
+                    return estimator.estimate(problem)
+                except EstimationError as exc:
+                    raise EstimationError(f"wrapped: {exc}") from exc
+            """
+        )
+        assert codes(found) == []
+
+    def test_warning_passes(self, lint):
+        found = lint(
+            """
+            import warnings
+            from repro.errors import SolverError
+
+            def solve(solver, problem, prior):
+                try:
+                    return solver(problem)
+                except SolverError as exc:
+                    warnings.warn(f"fell back: {exc}", RuntimeWarning)
+                    return prior
+            """
+        )
+        assert codes(found) == []
+
+    def test_structured_record_passes(self, lint):
+        found = lint(
+            """
+            from repro.errors import EstimationError
+            from repro.resilience.report import FailureReason
+
+            def solve(estimator, problem):
+                try:
+                    return estimator.estimate(problem).vector, None
+                except EstimationError as exc:
+                    return None, FailureReason.from_exception(exc, spec="x")
+            """
+        )
+        assert codes(found) == []
+
+    def test_non_repro_exceptions_ignored(self, lint):
+        found = lint(
+            """
+            def probe(mapping, key):
+                try:
+                    return mapping[key]
+                except KeyError:
+                    return None
+            """
+        )
+        assert codes(found) == []
+
+    def test_pragma_suppresses(self, lint):
+        found = lint(
+            """
+            from repro.errors import TopologyError
+
+            def is_valid(network):
+                try:
+                    network.validate()
+                except TopologyError:  # reprolint: allow[fault-handling]
+                    return False
+                return True
+            """
+        )
+        assert codes(found) == []
+
+    def test_allowlist_suppresses(self, lint):
+        entry = AllowlistEntry(
+            rule="fault-handling",
+            path="snippet.py",
+            fragment="except EstimationError",
+            reason="reviewed",
+        )
+        found = lint(
+            """
+            from repro.errors import EstimationError
+
+            def solve(estimator, problem, prior):
+                try:
+                    return estimator.estimate(problem).vector
+                except EstimationError:
+                    return prior
+            """,
+            allowlist=[entry],
+        )
+        assert codes(found) == []
+
+
 class TestEngine:
     def test_parse_pragmas(self):
         pragmas = parse_pragmas(
@@ -515,5 +626,6 @@ class TestEngine:
             "determinism",
             "pool-safety",
             "registry-contracts",
+            "fault-handling",
         }
         assert len({rule.code for rule in ALL_RULES}) == len(ALL_RULES)

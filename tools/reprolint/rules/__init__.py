@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from reprolint.rules.determinism import RULE as DETERMINISM
+from reprolint.rules.fault_handling import RULE as FAULT_HANDLING
 from reprolint.rules.pool_safety import RULE as POOL_SAFETY
 from reprolint.rules.registry_contracts import RULE as REGISTRY_CONTRACTS
 from reprolint.rules.sparse_safety import RULE as SPARSE_SAFETY
@@ -10,7 +11,7 @@ from reprolint.rules.sparse_safety import RULE as SPARSE_SAFETY
 __all__ = ["ALL_RULES", "rules_by_name"]
 
 #: Evaluation order is also the display order of ``--list-rules``.
-ALL_RULES = (SPARSE_SAFETY, DETERMINISM, POOL_SAFETY, REGISTRY_CONTRACTS)
+ALL_RULES = (SPARSE_SAFETY, DETERMINISM, POOL_SAFETY, REGISTRY_CONTRACTS, FAULT_HANDLING)
 
 
 def rules_by_name() -> dict[str, object]:

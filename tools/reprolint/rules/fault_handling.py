@@ -1,0 +1,148 @@
+"""``fault-handling``: no silently swallowed pipeline errors.
+
+The :class:`repro.errors.ReproError` hierarchy is the pipeline's fault
+vocabulary: an ``EstimationError`` or ``SolverError`` reaching an
+``except`` block means an estimation method, a solver or a measurement
+stage *failed*.  The resilience layer (PR 8) makes degradation explicit —
+fallbacks emit ``RuntimeWarning``\\ s and structured
+``FailureReason``/``DegradationReport`` records — so the one pattern that
+must never ship is the silent variant::
+
+    try:
+        result = estimator.estimate(problem)
+    except EstimationError:
+        result = prior          # nothing logged, nothing recorded
+
+A sweep built on that code reports a prior as if the method had run, and
+nobody ever learns the method failed.  This rule flags every ``except``
+handler in ``src/`` that catches a :class:`ReproError` subclass (by name,
+including ``(EstimationError, SolverError)`` tuples) whose body neither
+
+* re-raises (``raise`` — bare or with a new exception), nor
+* warns or logs (a call whose final attribute is ``warn``, ``warning``,
+  ``error``, ``exception``, ``critical``, ``info``, ``debug`` or ``log``),
+  nor
+* records the failure structurally (constructs or calls anything whose
+  name mentions ``FailureReason``, ``DegradationEvent``,
+  ``DegradationReport`` or a ``skip_record``/``from_exception`` helper).
+
+Handlers whose silence is a reviewed design decision — e.g. probing
+whether an optional input exists — carry an inline
+``# reprolint: allow[fault-handling]`` pragma or an ``allowlist.txt``
+entry naming the file and a line fragment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.astutil import dotted_name
+from reprolint.engine import Diagnostic, FileContext
+
+__all__ = ["RULE"]
+
+#: The ReproError hierarchy, by class name (cross-file resolution is not
+#: needed: the codebase always catches these by their imported names).
+REPRO_ERRORS = {
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "TrafficError",
+    "MeasurementError",
+    "EstimationError",
+    "PlanningError",
+    "SolverError",
+    "BudgetExceededError",
+}
+
+#: A call whose dotted name *ends* in one of these counts as surfacing the
+#: failure (warnings.warn, logger.warning/error/exception, log, ...).
+SURFACING_CALLS = {
+    "warn",
+    "warning",
+    "error",
+    "exception",
+    "critical",
+    "info",
+    "debug",
+    "log",
+}
+
+#: Constructing/consuming one of these inside the handler counts as
+#: recording the failure structurally.
+STRUCTURED_RECORDS = {
+    "FailureReason",
+    "DegradationEvent",
+    "DegradationReport",
+    "from_exception",
+    "skip_record",
+}
+
+
+class _FaultHandlingRule:
+    name = "fault-handling"
+    code = "REPRO501"
+    description = (
+        "except blocks catching ReproError subclasses must re-raise, warn/log, "
+        "or record a structured failure reason"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = self._caught_repro_errors(node.type)
+            if not caught:
+                continue
+            if self._handler_surfaces(node):
+                continue
+            yield Diagnostic(
+                path=context.path,
+                line=node.lineno,
+                column=node.col_offset + 1,
+                rule=self.name,
+                code=self.code,
+                message=(
+                    f"except block swallows {', '.join(sorted(caught))} without "
+                    "re-raising, warning/logging, or recording a structured "
+                    "failure reason — a silent fallback hides degraded results; "
+                    "emit a RuntimeWarning or build a FailureReason/"
+                    "DegradationReport (reviewed exceptions: "
+                    "# reprolint: allow[fault-handling])"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _caught_repro_errors(node: ast.expr | None) -> set[str]:
+        """ReproError subclass names mentioned in the handler's type."""
+        if node is None:
+            return set()
+        names = [node] if not isinstance(node, ast.Tuple) else list(node.elts)
+        caught: set[str] = set()
+        for name_node in names:
+            name = dotted_name(name_node)
+            if name is not None and name.split(".")[-1] in REPRO_ERRORS:
+                caught.add(name.split(".")[-1])
+        return caught
+
+    @staticmethod
+    def _handler_surfaces(handler: ast.ExceptHandler) -> bool:
+        """Whether the handler body re-raises, warns/logs, or records."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                leaf = name.split(".")[-1]
+                if leaf in SURFACING_CALLS or leaf in STRUCTURED_RECORDS:
+                    return True
+            if isinstance(node, ast.Name) and node.id in STRUCTURED_RECORDS:
+                return True
+        return False
+
+
+RULE = _FaultHandlingRule()

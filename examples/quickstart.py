@@ -48,7 +48,7 @@ def main() -> None:
     tomogravity = EntropyEstimator(regularization=1000.0, prior="gravity").estimate(problem)
     tomogravity_mre = mean_relative_error(tomogravity.estimate, truth)
     print(f"  tomogravity MRE over the large demands: {tomogravity_mre:.3f}")
-    print(f"  link-load residual: {tomogravity.diagnostics['link_residual']:.2e}")
+    print(f"  link-load residual: {tomogravity.diagnostics['residual_norm']:.2e}")
 
     ranking = demand_ranking_correlation(tomogravity.estimate, truth)
     print(f"  rank correlation with the true demand sizes: {ranking:.3f}")

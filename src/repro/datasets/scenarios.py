@@ -38,6 +38,7 @@ from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import EstimationError, SolverError, TrafficError
 from repro.estimation.base import EstimationProblem, SeriesEstimationResult
 from repro.measurement.collector import DistributedCollector
@@ -341,40 +342,56 @@ class Scenario:
             )
 
         records: list[SweepRecord] = []
-        for entry in methods:
-            name, params = entry if isinstance(entry, tuple) else (entry, {})
-            try:
-                # TypeError here means the params do not fit the estimator's
-                # constructor signature; past this point it would be a bug.
-                estimator = get_estimator(name, **dict(params))
-            except (EstimationError, TypeError) as exc:
-                if not skip_errors:
-                    raise
-                records.append(skip_record(name, exc, stage="construct"))
-                continue
-            try:
-                result: SeriesEstimationResult = estimator.estimate_series(problem)
-                per_snapshot = np.array(
-                    [
-                        mean_relative_error(result.matrix(k), truth_snapshots[k])
-                        for k in range(len(result))
-                    ]
+        with telemetry.span("scenario.sweep", scenario=self.name, methods=len(methods)):
+            records.extend(
+                self._sweep_entry(
+                    entry, problem, truth_snapshots, truth_mean, skip_errors, skip_record
                 )
-                mre = mean_relative_error(result.mean_matrix(), truth_mean)
-            except (EstimationError, SolverError) as exc:
-                if not skip_errors:
-                    raise
-                records.append(skip_record(name, exc, stage="estimate"))
-                continue
-            records.append(
-                SweepRecord(
-                    method=name,
-                    mre=mre,
-                    per_snapshot_mre=per_snapshot,
-                    degradation=result.diagnostics.get("degradation"),
-                )
+                for entry in methods
             )
-        return records
+        return [record for record in records if record is not None]
+
+    def _sweep_entry(
+        self,
+        entry: "Union[str, tuple[str, Mapping]]",
+        problem: EstimationProblem,
+        truth_snapshots: "list[TrafficMatrix]",
+        truth_mean: TrafficMatrix,
+        skip_errors: bool,
+        skip_record: "Callable[[str, Exception, str], SweepRecord]",
+    ) -> Optional[SweepRecord]:
+        """Score one method entry of :meth:`sweep` (split out for tracing)."""
+        from repro.estimation.registry import get_estimator
+        from repro.evaluation.metrics import mean_relative_error
+
+        name, params = entry if isinstance(entry, tuple) else (entry, {})
+        try:
+            # TypeError here means the params do not fit the estimator's
+            # constructor signature; past this point it would be a bug.
+            estimator = get_estimator(name, **dict(params))
+        except (EstimationError, TypeError) as exc:
+            if not skip_errors:
+                raise
+            return skip_record(name, exc, stage="construct")
+        try:
+            result: SeriesEstimationResult = estimator.estimate_series(problem)
+            per_snapshot = np.array(
+                [
+                    mean_relative_error(result.matrix(k), truth_snapshots[k])
+                    for k in range(len(result))
+                ]
+            )
+            mre = mean_relative_error(result.mean_matrix(), truth_mean)
+        except (EstimationError, SolverError) as exc:
+            if not skip_errors:
+                raise
+            return skip_record(name, exc, stage="estimate")
+        return SweepRecord(
+            method=name,
+            mre=mre,
+            per_snapshot_mre=per_snapshot,
+            degradation=result.diagnostics.get("degradation"),
+        )
 
     # ------------------------------------------------------------------
     # descriptive statistics used by the data-analysis figures
@@ -438,18 +455,24 @@ class MeasuredScenario(Scenario):
     def collector(self) -> DistributedCollector:
         """The collector, running the day-long collection on first access."""
         if self._collector is None:
-            collector = DistributedCollector(
-                self.routing,
-                num_pollers=self.num_pollers,
-                interval_seconds=self.day_series.interval_seconds,
-                jitter_std_seconds=self.jitter_std_seconds,
-                loss_probability=self.loss_probability,
-                seed=self.measurement_seed,
-                max_interpolated_fraction=self.max_interpolated_fraction,
-                fault_plan=self.fault_plan,
-                counter_bits=self.counter_bits,
-            )
-            collector.collect(self.day_series)
+            with telemetry.span(
+                "measurement.collect",
+                scenario=self.name,
+                jitter=self.jitter_std_seconds,
+                loss=self.loss_probability,
+            ):
+                collector = DistributedCollector(
+                    self.routing,
+                    num_pollers=self.num_pollers,
+                    interval_seconds=self.day_series.interval_seconds,
+                    jitter_std_seconds=self.jitter_std_seconds,
+                    loss_probability=self.loss_probability,
+                    seed=self.measurement_seed,
+                    max_interpolated_fraction=self.max_interpolated_fraction,
+                    fault_plan=self.fault_plan,
+                    counter_bits=self.counter_bits,
+                )
+                collector.collect(self.day_series)
             self._collector = collector
         return self._collector
 

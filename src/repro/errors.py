@@ -86,4 +86,35 @@ class BudgetExceededError(SolverError):
     or iteration allowance the tick raises this error, which the
     :class:`~repro.resilience.SupervisedEstimator` treats like any other
     solver failure (retry, then fall back down the chain).
+
+    The structured accounting rides along so degradation records are
+    actionable: ``elapsed_seconds`` and ``ticks`` say how much the attempt
+    consumed, ``max_seconds`` / ``max_iterations`` echo the configured
+    limits (``None`` for an unbounded dimension).  The message carries the
+    same numbers, so the detail survives pickling across process pools
+    (exception pickling keeps only ``args``).
     """
+
+    def __init__(
+        self,
+        message: str = "solver budget exceeded",
+        *,
+        elapsed_seconds: "float | None" = None,
+        ticks: "int | None" = None,
+        max_seconds: "float | None" = None,
+        max_iterations: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+        self.ticks = ticks
+        self.max_seconds = max_seconds
+        self.max_iterations = max_iterations
+
+    def budget_details(self) -> dict[str, "float | int | None"]:
+        """The structured accounting as a dict (for reports and spans)."""
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "ticks": self.ticks,
+            "max_seconds": self.max_seconds,
+            "max_iterations": self.max_iterations,
+        }

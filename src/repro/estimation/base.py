@@ -25,12 +25,14 @@ snapshot's totals in single array operations).
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Union
 
 import numpy as np
 import scipy.sparse
 
+from repro import telemetry
 from repro.errors import EstimationError
 from repro.routing.routing_matrix import RoutingMatrix
 from repro.topology.elements import NodePair
@@ -206,8 +208,11 @@ class EstimationProblem:
         read-only (the prior helpers mark theirs immutable).
         """
         cache = self._shared_cache
-        if key not in cache:
-            cache[key] = builder()
+        if key in cache:
+            telemetry.counter_inc("workspace.cache_hits")
+            return cache[key]
+        telemetry.counter_inc("workspace.cache_misses")
+        cache[key] = builder()
         return cache[key]
 
     def pair_positions(self) -> tuple[tuple[str, ...], tuple[str, ...], np.ndarray, np.ndarray]:
@@ -428,12 +433,85 @@ class SeriesEstimationResult:
         return EstimationResult(estimate=self.matrix(index), method=self.method)
 
 
+#: Historic diagnostics spellings mapped to the canonical key names the
+#: telemetry layer exposes as span attributes.  The in-tree estimators all
+#: emit canonical keys; the aliases keep traces readable should an external
+#: estimator still use the old names.
+_DIAGNOSTIC_ALIASES = {
+    "solver_iterations": "iterations",
+    "solver_converged": "converged",
+    "link_residual": "residual_norm",
+}
+
+
+def _span_diagnostics(diagnostics: Mapping[str, Any]) -> dict[str, Any]:
+    """Scalar diagnostics under canonical names, for span attributes."""
+    folded: dict[str, Any] = {}
+    for key, value in diagnostics.items():
+        if isinstance(value, (bool, np.bool_)):
+            folded[_DIAGNOSTIC_ALIASES.get(key, key)] = bool(value)
+        elif isinstance(value, (int, np.integer)):
+            folded[_DIAGNOSTIC_ALIASES.get(key, key)] = int(value)
+        elif isinstance(value, (float, np.floating)):
+            folded[_DIAGNOSTIC_ALIASES.get(key, key)] = float(value)
+        elif isinstance(value, str):
+            folded[_DIAGNOSTIC_ALIASES.get(key, key)] = value
+    return folded
+
+
+def _traced_estimate(impl: Callable[..., Any], kind: str) -> Callable[..., Any]:
+    """Wrap an ``estimate``/``estimate_series`` override in a stage span.
+
+    The wrapper adds one flag check when telemetry is disabled.  When
+    enabled it opens ``span(kind, method=..., n_pairs=...)`` around the
+    call and folds the result's scalar diagnostics into the span
+    attributes, so every method's convergence data lands on the trace
+    without per-method instrumentation.
+    """
+
+    @functools.wraps(impl)
+    def traced(self: "Estimator", problem: "EstimationProblem", *args: Any, **kwargs: Any) -> Any:
+        if not telemetry.is_enabled():
+            return impl(self, problem, *args, **kwargs)
+        with telemetry.span(
+            kind, method=self.name, n_pairs=problem.num_pairs
+        ) as active:
+            result = impl(self, problem, *args, **kwargs)
+            diagnostics = getattr(result, "diagnostics", None)
+            if diagnostics:
+                active.set_attributes(**_span_diagnostics(diagnostics))
+            return result
+
+    traced._repro_span_wrapped = True  # type: ignore[attr-defined]
+    return traced
+
+
 class Estimator(abc.ABC):
     """Abstract base class of all traffic-matrix estimation methods."""
 
     #: Short identifier used in result objects, summary tables and the
     #: estimator registry (:mod:`repro.estimation.registry`).
     name: str = "estimator"
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        """Auto-span every concrete ``estimate``/``estimate_series`` override.
+
+        Each subclass-defined entry point is wrapped by
+        :func:`_traced_estimate` exactly once (re-wrapping on further
+        subclassing is prevented by the ``_repro_span_wrapped`` marker, and
+        inherited implementations are already wrapped on the class that
+        defined them).
+        """
+        super().__init_subclass__(**kwargs)
+        for attr in ("estimate", "estimate_series"):
+            impl = cls.__dict__.get(attr)
+            if (
+                impl is not None
+                and callable(impl)
+                and not getattr(impl, "__isabstractmethod__", False)
+                and not getattr(impl, "_repro_span_wrapped", False)
+            ):
+                setattr(cls, attr, _traced_estimate(impl, attr))
 
     @abc.abstractmethod
     def estimate(self, problem: EstimationProblem) -> EstimationResult:

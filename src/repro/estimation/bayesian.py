@@ -66,7 +66,7 @@ class BayesianEstimator(Estimator):
         ``"projected-gradient"``).  On dense backends it is forwarded to
         :func:`repro.optimize.nnls.nnls`; on sparse backends
         ``"active-set"`` selects the exact normal-equations pivoting
-        (a direct solve — ``solver_iterations`` reports 0) and
+        (a direct solve — the ``iterations`` diagnostic reports 0) and
         ``"projected-gradient"`` the matrix-free FISTA path, neither of
         which densifies the routing matrix.
     """
@@ -157,12 +157,12 @@ class BayesianEstimator(Estimator):
                 values,
                 regularization=self.regularization,
                 prior_kind=self.prior if isinstance(self.prior, str) else "explicit",
-                link_residual=float(
+                residual_norm=float(
                     np.linalg.norm(problem.routing.matvec(values) - snapshot)
                 ),
                 prior_distance=float(np.linalg.norm(values - prior)),
-                solver_iterations=int(iterations),
-                solver_converged=bool(converged),
+                iterations=int(iterations),
+                converged=bool(converged),
             )
 
         routing = problem.routing.matrix
@@ -176,10 +176,10 @@ class BayesianEstimator(Estimator):
             values,
             regularization=self.regularization,
             prior_kind=self.prior if isinstance(self.prior, str) else "explicit",
-            link_residual=float(np.linalg.norm(routing @ values - snapshot)),
+            residual_norm=float(np.linalg.norm(routing @ values - snapshot)),
             prior_distance=float(np.linalg.norm(values - prior)),
-            solver_iterations=solution.iterations,
-            solver_converged=solution.converged,
+            iterations=solution.iterations,
+            converged=solution.converged,
         )
 
     # ------------------------------------------------------------------

@@ -186,12 +186,12 @@ class EntropyEstimator(Estimator):
             values,
             regularization=self.regularization,
             prior_kind=self.prior if isinstance(self.prior, str) else "explicit",
-            link_residual=float(
+            residual_norm=float(
                 np.linalg.norm(problem.routing.matvec(values) - snapshot)
             ),
             kl_to_prior=kl_divergence(values[free], prior[free]),
-            solver_iterations=int(outcome.nit),
-            solver_converged=bool(outcome.success),
+            iterations=int(outcome.nit),
+            converged=bool(outcome.success),
         )
 
     # ------------------------------------------------------------------

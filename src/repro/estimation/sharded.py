@@ -41,6 +41,7 @@ from typing import Any, Callable, Mapping, Optional, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import EstimationError, SolverError, TopologyError
 from repro.estimation.base import EstimationProblem, EstimationResult, Estimator
 from repro.estimation.gravity import gravity_vector
@@ -485,22 +486,28 @@ class ShardedEstimator(Estimator):
         network = problem.routing.network
         if network is None:
             return self._flat_result(problem, sharding="no-network")
-        try:
-            region_of = self._resolve_regions(network)
-        except TopologyError as exc:
-            raise EstimationError(f"cannot partition network for sharding: {exc}") from exc
-        regions = sorted(set(region_of.values()))
-        if len(regions) < 2:
-            return self._flat_result(problem, sharding="single-region")
+        with telemetry.span("sharded.partition"):
+            try:
+                region_of = self._resolve_regions(network)
+            except TopologyError as exc:
+                raise EstimationError(
+                    f"cannot partition network for sharding: {exc}"
+                ) from exc
+            regions = sorted(set(region_of.values()))
+            if len(regions) < 2:
+                return self._flat_result(problem, sharding="single-region")
 
-        _, origin_region, destination_region = self._pair_regions(problem, region_of)
-        intra_mask = origin_region == destination_region
-        inter_cols = np.flatnonzero(~intra_mask)
-        intra_cols: dict[str, np.ndarray] = {}
-        for position, region in enumerate(regions):
-            cols = np.flatnonzero(intra_mask & (origin_region == position))
-            if cols.size:
-                intra_cols[region] = cols
+            _, origin_region, destination_region = self._pair_regions(problem, region_of)
+            intra_mask = origin_region == destination_region
+            inter_cols = np.flatnonzero(~intra_mask)
+            intra_cols: dict[str, np.ndarray] = {}
+            for position, region in enumerate(regions):
+                cols = np.flatnonzero(intra_mask & (origin_region == position))
+                if cols.size:
+                    intra_cols[region] = cols
+            telemetry.set_attributes(
+                num_regions=len(regions), num_inter_pairs=int(inter_cols.size)
+            )
 
         prior = self._prior_vector(problem)
         diagnostics: dict[str, Any] = {
@@ -516,21 +523,24 @@ class ShardedEstimator(Estimator):
 
         # Coarse inter-region step, then per-region shards against the
         # residual loads the inter traffic leaves behind.
-        if inter_cols.size:
-            inter_vector = self._inter_region_vector(
-                problem, region_of, inter_cols, prior, diagnostics
-            )
-        else:
-            inter_vector = np.zeros(problem.num_pairs)
-        baseline = prior.copy()
-        baseline[inter_cols] = inter_vector[inter_cols]
+        with telemetry.span("sharded.coarse"):
+            if inter_cols.size:
+                inter_vector = self._inter_region_vector(
+                    problem, region_of, inter_cols, prior, diagnostics
+                )
+            else:
+                inter_vector = np.zeros(problem.num_pairs)
+            baseline = prior.copy()
+            baseline[inter_cols] = inter_vector[inter_cols]
 
-        shard_names, shard_problems, shard_priors = self._shard_problems(
-            problem, region_of, intra_cols, baseline, prior
-        )
-        solutions, shard_fallbacks = self._solve_shards(
-            shard_names, shard_problems, shard_priors
-        )
+        with telemetry.span("sharded.shards"):
+            shard_names, shard_problems, shard_priors = self._shard_problems(
+                problem, region_of, intra_cols, baseline, prior
+            )
+            solutions, shard_fallbacks = self._solve_shards(
+                shard_names, shard_problems, shard_priors
+            )
+            telemetry.set_attributes(num_shards=len(shard_problems))
         diagnostics["num_shards"] = len(shard_problems)
 
         stitched = baseline.copy()
@@ -569,18 +579,22 @@ class ShardedEstimator(Estimator):
             # constraints.  Iterative scaling keeps zero entries at zero,
             # so entries the shards zeroed out get a tiny prior-guided
             # floor first — reconciliation may re-grow them.
-            reconcile_prior = stitched.copy()
-            floor = 1e-12 * max(float(prior.max(initial=0.0)), 1.0)
-            needs_floor = (reconcile_prior <= 0.0) & (prior > 0.0)
-            reconcile_prior[needs_floor] = floor
-            ipf = generalized_iterative_scaling(
-                reconcile_prior,
-                problem.routing.native,
-                problem.snapshot,
-                max_iterations=self.reconcile_iterations,
-                tolerance=self.reconcile_tolerance,
-            )
-            stitched = ipf.values
+            with telemetry.span("sharded.reconcile"):
+                reconcile_prior = stitched.copy()
+                floor = 1e-12 * max(float(prior.max(initial=0.0)), 1.0)
+                needs_floor = (reconcile_prior <= 0.0) & (prior > 0.0)
+                reconcile_prior[needs_floor] = floor
+                ipf = generalized_iterative_scaling(
+                    reconcile_prior,
+                    problem.routing.native,
+                    problem.snapshot,
+                    max_iterations=self.reconcile_iterations,
+                    tolerance=self.reconcile_tolerance,
+                )
+                stitched = ipf.values
+                telemetry.set_attributes(
+                    iterations=int(ipf.iterations), converged=bool(ipf.converged)
+                )
             diagnostics.update(
                 reconcile_iterations=ipf.iterations,
                 reconcile_violation=ipf.max_violation,

@@ -143,8 +143,8 @@ class VardiEstimator(Estimator):
             num_snapshots=series.shape[0],
             first_moment_residual=float(np.linalg.norm(routing.matvec(values) - mean)),
             second_moment_residual=float(np.linalg.norm(covariance_model - covariance)),
-            solver_iterations=solution.iterations,
-            solver_converged=solution.converged,
+            iterations=solution.iterations,
+            converged=solution.converged,
         )
 
     def estimate_series(self, problem: EstimationProblem) -> SeriesEstimationResult:

@@ -36,6 +36,7 @@ from typing import Any, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.datasets.scenarios import Scenario
 from repro.errors import EstimationError, SolverError
 from repro.estimation.registry import get_estimator
@@ -244,6 +245,14 @@ class _SpecOutcome:
 def _evaluate_spec_guarded(
     spec: MethodSpec, problem: Any, prior: Optional[np.ndarray], skip_errors: bool
 ) -> _SpecOutcome:
+    """One spec evaluation inside an ``experiment.spec`` stage span."""
+    with telemetry.span("experiment.spec", spec=spec.label):
+        return _evaluate_spec_impl(spec, problem, prior, skip_errors)
+
+
+def _evaluate_spec_impl(
+    spec: MethodSpec, problem: Any, prior: Optional[np.ndarray], skip_errors: bool
+) -> _SpecOutcome:
     """One spec evaluation as a structured :class:`_SpecOutcome`.
 
     With ``skip_errors`` an estimation or solver failure becomes an outcome
@@ -379,6 +388,22 @@ def estimate_method_specs(
     reason (specs whose prior source failed are skipped the same way, with
     ``stage="prior"``) instead of raising.
     """
+    with telemetry.span(
+        "experiment.specs", scenario=scenario.name, num_specs=len(specs)
+    ):
+        return _estimate_method_specs_impl(
+            scenario, specs, n_jobs, skip_errors, task_timeout, max_resubmissions
+        )
+
+
+def _estimate_method_specs_impl(
+    scenario: Scenario,
+    specs: Sequence[MethodSpec],
+    n_jobs: Optional[int],
+    skip_errors: bool,
+    task_timeout: Optional[float],
+    max_resubmissions: int,
+) -> list[SpecEstimate]:
     labels = [spec.label for spec in specs]
     prior_source: dict[int, int] = {}
     for position, spec in enumerate(specs):
@@ -673,6 +698,35 @@ def _robustness_cell(
     Module-level so a process pool can pickle it; the serial loop calls it
     directly, which is what makes parallel and serial runs byte-identical.
     """
+    with telemetry.span(
+        "robustness.cell", scenario=scenario.name, jitter=float(jitter), loss=float(loss)
+    ):
+        return _robustness_cell_impl(
+            scenario,
+            jitter,
+            loss,
+            methods,
+            window_length,
+            num_pollers,
+            seed,
+            skip_errors,
+            fault_plan,
+            counter_bits,
+        )
+
+
+def _robustness_cell_impl(
+    scenario: Scenario,
+    jitter: float,
+    loss: float,
+    methods: Optional[Sequence[Union[str, tuple[str, Mapping]]]],
+    window_length: Optional[int],
+    num_pollers: int,
+    seed: Optional[int],
+    skip_errors: bool,
+    fault_plan: Optional[Any],
+    counter_bits: int,
+) -> list[RobustnessRecord]:
     measured = scenario.measured(
         jitter_std_seconds=float(jitter),
         loss_probability=float(loss),
@@ -763,27 +817,28 @@ def robustness_sweep(
         for loss in loss_values
     ]
     jobs = effective_jobs(n_jobs, len(cells), error=EstimationError)
-    cell_records, _pool_report = run_supervised_tasks(
-        _robustness_cell,
-        [
-            (
-                scenario,
-                jitter,
-                loss,
-                methods,
-                window_length,
-                num_pollers,
-                seed,
-                skip_errors,
-                fault_plan,
-                counter_bits,
-            )
-            for scenario, jitter, loss in cells
-        ],
-        jobs=jobs,
-        timeout=task_timeout,
-        max_resubmissions=max_resubmissions,
-    )
+    with telemetry.span("robustness.sweep", cells=len(cells), jobs=jobs):
+        cell_records, _pool_report = run_supervised_tasks(
+            _robustness_cell,
+            [
+                (
+                    scenario,
+                    jitter,
+                    loss,
+                    methods,
+                    window_length,
+                    num_pollers,
+                    seed,
+                    skip_errors,
+                    fault_plan,
+                    counter_bits,
+                )
+                for scenario, jitter, loss in cells
+            ],
+            jobs=jobs,
+            timeout=task_timeout,
+            max_resubmissions=max_resubmissions,
+        )
     return [record for cell in cell_records for record in cell]
 
 

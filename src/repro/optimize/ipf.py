@@ -26,6 +26,7 @@ import scipy.sparse
 
 from repro.errors import SolverError
 from repro.resilience.budget import budget_tick
+from repro.telemetry.metrics import counter_inc, histogram_observe
 
 __all__ = [
     "IPFResult",
@@ -145,6 +146,8 @@ def kruithof_scaling(
         float(np.max(np.abs(values.sum(axis=1) - row_targets), initial=0.0)),
         float(np.max(np.abs(values.sum(axis=0) - column_targets), initial=0.0)),
     )
+    counter_inc("ipf.sweeps", iterations)
+    histogram_observe("ipf.max_violation", violation)
     return IPFResult(values=values, iterations=iterations, max_violation=violation, converged=converged)
 
 
@@ -221,6 +224,8 @@ def kruithof_scaling_batch(
             np.abs(values.sum(axis=1) - column_targets).max(initial=0.0),
         )
     )
+    counter_inc("ipf.sweeps", iterations)
+    histogram_observe("ipf.max_violation", final_violation)
     return IPFResult(
         values=values,
         iterations=iterations,
@@ -294,4 +299,6 @@ def generalized_iterative_scaling(
             converged = True
             break
     violation = float(np.max(np.abs(routing_matrix @ values - link_loads), initial=0.0))
+    counter_inc("ipf.sweeps", iterations)
+    histogram_observe("ipf.max_violation", violation)
     return IPFResult(values=values, iterations=iterations, max_violation=violation, converged=converged)

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.linalg
 import scipy.optimize
+
+from repro.resilience.budget import budget_tick
 import scipy.sparse
 
 from repro.errors import SolverError
@@ -138,6 +140,7 @@ def nnls_projected_gradient(
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
+        budget_tick()
         gradient = gram @ y - atb
         x_next = np.maximum(y - step * gradient, 0.0)
         momentum_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * momentum**2))
@@ -212,6 +215,7 @@ def nnls_normal_equations_batch(
         backup_budget = 3
         solved = False
         for _ in range(max_pivot_rounds):
+            budget_tick()
             # Equality-constrained solve (x[active] = 0) from the cached inverse:
             # x = z - G^{-1}[:, A] lambda with G^{-1}[A, A] lambda = z[A]; the
             # gradient is then -lambda on A and zero elsewhere.

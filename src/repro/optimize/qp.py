@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SolverError
+from repro.resilience.budget import budget_tick
 from repro.optimize.nnls import nnls
 
 __all__ = [
@@ -273,6 +274,7 @@ def nonnegative_quadratic_program(
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
+        budget_tick()
         gradient = 2.0 * (G @ y - h)
         x_next = np.maximum(y - step * gradient, 0.0)
         momentum_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * momentum**2))

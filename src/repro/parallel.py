@@ -56,6 +56,8 @@ from typing import Any, Callable, Optional, Sequence, Type
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = [
     "effective_jobs",
     "PayloadRef",
@@ -252,12 +254,52 @@ def _maybe_worker_fault(task_index: int, round_number: int) -> None:
         time.sleep(float(getattr(plan, "hang_seconds", 30.0)))
 
 
+@dataclass(frozen=True)
+class _TaskEnvelope:
+    """A task result plus the telemetry recorded while computing it.
+
+    Workers wrap their return value in an envelope whenever the parent ran
+    with telemetry enabled; the parent unwraps it, re-parents the shipped
+    spans under the submitting span and folds the metrics into its own
+    registry.  Task *results* never contain telemetry — the envelope is
+    pool-transport only, so serial and parallel runs keep producing
+    identical records.
+    """
+
+    result: Any
+    spans: tuple
+    metrics: dict
+
+
+#: Set after the first telemetry-carrying task so fork-inherited parent
+#: spans/metrics are dropped exactly once per worker process.
+_WORKER_TELEMETRY_PRIMED = False
+
+
+def _prime_worker_telemetry() -> None:
+    global _WORKER_TELEMETRY_PRIMED
+    if not _WORKER_TELEMETRY_PRIMED:
+        telemetry.enable()
+        telemetry.reset_telemetry()
+        _WORKER_TELEMETRY_PRIMED = True
+
+
 def _run_supervised_task(
-    worker: Callable[..., Any], task_index: int, round_number: int, args: tuple
+    worker: Callable[..., Any],
+    task_index: int,
+    round_number: int,
+    args: tuple,
+    with_telemetry: bool = False,
 ) -> Any:
     """Module-level pool target: apply injected faults, then run the task."""
     _maybe_worker_fault(task_index, round_number)
-    return worker(*args)
+    if not with_telemetry:
+        return worker(*args)
+    _prime_worker_telemetry()
+    with telemetry.capture() as records:
+        with telemetry.span("pool.task", task_index=task_index, round=round_number):
+            result = worker(*args)
+    return _TaskEnvelope(result=result, spans=tuple(records), metrics=telemetry.drain_metrics())
 
 
 # ----------------------------------------------------------------------
@@ -288,10 +330,14 @@ class PoolReport:
     Pool incidents are *infrastructure* degradation, not properties of the
     computed records — a serial run has no pool and must produce identical
     records — so they are reported here (and as ``RuntimeWarning``s) rather
-    than written into task results.
+    than written into task results.  ``remote_spans`` counts the telemetry
+    span records shipped back from worker processes and re-parented into
+    the parent's trace (0 when telemetry was disabled or the run was
+    serial).
     """
 
     events: tuple[PoolTaskEvent, ...] = field(default_factory=tuple)
+    remote_spans: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -348,6 +394,14 @@ def run_supervised_tasks(
     incidents are recorded on the :class:`PoolReport` and emitted as
     ``RuntimeWarning``s; they are deliberately kept out of the task results
     so serial and parallel runs produce identical records.
+
+    When telemetry is enabled in the parent, workers record their spans
+    per task and ship them back inside a :class:`_TaskEnvelope`; this
+    function re-parents the remote roots under the surrounding
+    ``pool.run`` span, stamps each ``pool.task`` root with its measured
+    queue wait, and feeds the ``pool.queue_wait_seconds`` /
+    ``pool.execute_seconds`` histograms — so one exported trace shows
+    queue-wait, per-worker execution and the parent timeline together.
     """
     task_args = [tuple(args) for args in task_args]
     results: list = [None] * len(task_args)
@@ -356,81 +410,116 @@ def run_supervised_tasks(
             results[index] = worker(*args)
         return results, PoolReport()
 
+    with_telemetry = telemetry.is_enabled()
+    remote_spans = 0
+    submit_walls: dict[int, float] = {}
+
+    def _unwrap(index: int, value: Any, parent_id: Optional[str]) -> Any:
+        nonlocal remote_spans
+        if not isinstance(value, _TaskEnvelope):
+            return value
+        remote_spans += len(value.spans)
+        roots = telemetry.attach_spans(value.spans, parent_id=parent_id)
+        telemetry.merge_metrics(value.metrics)
+        submitted = submit_walls.get(index)
+        for root in roots:
+            if root.name != "pool.task":
+                continue
+            if submitted is not None:
+                queue_wait = max(0.0, root.start_wall - submitted)
+                root.attributes["queue_wait_seconds"] = queue_wait
+                telemetry.histogram_observe("pool.queue_wait_seconds", queue_wait)
+            telemetry.histogram_observe("pool.execute_seconds", root.duration)
+        return value.result
+
     events: list[PoolTaskEvent] = []
     pending = list(range(len(task_args)))
-    for round_number in range(max_resubmissions + 1):
-        if not pending:
-            break
-        if round_number > 0:
+    with telemetry.span("pool.run", tasks=len(task_args), jobs=jobs) as pool_span:
+        pool_span_id = getattr(pool_span, "span_id", None)
+        for round_number in range(max_resubmissions + 1):
+            if not pending:
+                break
+            if round_number > 0:
+                events.append(
+                    PoolTaskEvent(
+                        kind="resubmitted",
+                        round_number=round_number,
+                        task_indices=tuple(pending),
+                        detail=f"fresh pool, attempt {round_number + 1}",
+                    )
+                )
+            pool = payload_executor(min(jobs, len(pending)))
+            futures = {}
+            for index in pending:
+                if with_telemetry:
+                    submit_walls[index] = telemetry.clock()
+                futures[index] = pool.submit(
+                    _run_supervised_task,
+                    worker,
+                    index,
+                    round_number,
+                    task_args[index],
+                    with_telemetry,
+                )
+            failed: list[int] = []
+            pool_broken = False
+            for index in pending:
+                if pool_broken:
+                    # After a pool break every unfinished future fails fast;
+                    # harvest the ones that completed before the crash.
+                    future = futures[index]
+                    if future.done() and future.exception() is None:
+                        results[index] = _unwrap(index, future.result(), pool_span_id)
+                    else:
+                        failed.append(index)
+                    continue
+                try:
+                    results[index] = _unwrap(
+                        index, futures[index].result(timeout=timeout), pool_span_id
+                    )
+                except _FuturesTimeout:
+                    failed.append(index)
+                    events.append(
+                        PoolTaskEvent(
+                            kind="timeout",
+                            round_number=round_number,
+                            task_indices=(index,),
+                            detail=f"task exceeded {timeout}s",
+                        )
+                    )
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    failed.append(index)
+                    events.append(
+                        PoolTaskEvent(
+                            kind="broken-pool",
+                            round_number=round_number,
+                            task_indices=(index,),
+                            detail=str(exc) or "worker process died",
+                        )
+                    )
+            if failed or pool_broken:
+                _abandon_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+            pending = failed
+
+        if pending:
             events.append(
                 PoolTaskEvent(
-                    kind="resubmitted",
-                    round_number=round_number,
+                    kind="serial-rerun",
+                    round_number=max_resubmissions + 1,
                     task_indices=tuple(pending),
-                    detail=f"fresh pool, attempt {round_number + 1}",
+                    detail="re-executed in the parent process",
                 )
             )
-        pool = payload_executor(min(jobs, len(pending)))
-        futures = {
-            index: pool.submit(
-                _run_supervised_task, worker, index, round_number, task_args[index]
-            )
-            for index in pending
-        }
-        failed: list[int] = []
-        pool_broken = False
-        for index in pending:
-            if pool_broken:
-                # After a pool break every unfinished future fails fast;
-                # harvest the ones that completed before the crash.
-                future = futures[index]
-                if future.done() and future.exception() is None:
-                    results[index] = future.result()
-                else:
-                    failed.append(index)
-                continue
-            try:
-                results[index] = futures[index].result(timeout=timeout)
-            except _FuturesTimeout:
-                failed.append(index)
-                events.append(
-                    PoolTaskEvent(
-                        kind="timeout",
-                        round_number=round_number,
-                        task_indices=(index,),
-                        detail=f"task exceeded {timeout}s",
-                    )
-                )
-            except BrokenProcessPool as exc:
-                pool_broken = True
-                failed.append(index)
-                events.append(
-                    PoolTaskEvent(
-                        kind="broken-pool",
-                        round_number=round_number,
-                        task_indices=(index,),
-                        detail=str(exc) or "worker process died",
-                    )
-                )
-        if failed or pool_broken:
-            _abandon_pool(pool)
-        else:
-            pool.shutdown(wait=True)
-        pending = failed
+            for index in pending:
+                # Parent-side re-execution: spans record inline under the
+                # pool.run span, no envelope needed.
+                results[index] = worker(*task_args[index])
+        pool_span.set_attributes(remote_spans=remote_spans)
 
-    if pending:
-        events.append(
-            PoolTaskEvent(
-                kind="serial-rerun",
-                round_number=max_resubmissions + 1,
-                task_indices=tuple(pending),
-                detail="re-executed in the parent process",
-            )
-        )
-        for index in pending:
-            results[index] = worker(*task_args[index])
-
-    report = PoolReport(events=tuple(events))
+    report = PoolReport(events=tuple(events), remote_spans=remote_spans)
     if report.degraded:
         warnings.warn(
             f"pool degradation: {report.describe()}",

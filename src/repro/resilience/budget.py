@@ -21,6 +21,8 @@ import time
 from typing import Optional
 
 from repro.errors import BudgetExceededError
+from repro.telemetry.metrics import record_iterations
+from repro.telemetry.spans import _STATE as _TELEMETRY
 
 __all__ = ["SolverBudget", "current_budget", "budget_tick"]
 
@@ -105,7 +107,27 @@ class SolverBudget:
         self.ticks += count
         reason = self.exhausted_reason()
         if reason is not None:
-            raise BudgetExceededError(f"solver budget exceeded: {reason}")
+            elapsed = self.elapsed()
+            # The *message* (which lands in DegradationReport details and
+            # must stay identical between serial and parallel runs) only
+            # mentions wall-clock for time trips, where the trip itself is
+            # already timing-dependent; iteration trips keep a fully
+            # deterministic message.  The structured attributes always
+            # carry the measured elapsed seconds for in-process consumers.
+            consumed = f"consumed {self.ticks} ticks"
+            if reason.startswith("time budget"):
+                consumed = f"consumed {self.ticks} ticks in {elapsed:.3f}s"
+            limits = (
+                f"max_seconds={self.max_seconds!r}, "
+                f"max_iterations={self.max_iterations!r}"
+            )
+            raise BudgetExceededError(
+                f"solver budget exceeded: {reason}; {consumed} (limits: {limits})",
+                elapsed_seconds=elapsed,
+                ticks=self.ticks,
+                max_seconds=self.max_seconds,
+                max_iterations=self.max_iterations,
+            )
 
 
 def current_budget() -> Optional[SolverBudget]:
@@ -119,7 +141,15 @@ def budget_tick(count: int = 1) -> None:
 
     A no-op when no budget is active, so unsupervised solver runs pay only
     an attribute lookup and a truthiness check per iteration.
+
+    The tick call sites double as the telemetry layer's iteration probes:
+    when telemetry is enabled each tick also feeds the
+    ``solver.iterations`` counter and the innermost open span, so traces
+    show how many iterations every solve burned without a second set of
+    hooks in the hot loops.
     """
     stack = _ACTIVE.stack
     if stack:
         stack[-1].tick(count)
+    if _TELEMETRY.enabled:
+        record_iterations(count)

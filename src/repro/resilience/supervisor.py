@@ -27,6 +27,7 @@ from typing import ContextManager, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import BudgetExceededError, EstimationError, SolverError
 from repro.estimation.base import (
     EstimationProblem,
@@ -72,7 +73,7 @@ class SupervisedEstimator(Estimator):
         Seeds the warm-start perturbations, so retry behaviour is
         reproducible and identical across serial and parallel runs.
     require_convergence:
-        Treat a result whose diagnostics report ``solver_converged: False``
+        Treat a result whose diagnostics report ``converged: False``
         as a failure (retry, then fall back) instead of returning it.
     inject_failures:
         Chaos knob: force the first N attempts to fail with a deterministic
@@ -161,6 +162,8 @@ class SupervisedEstimator(Estimator):
                     setter = getattr(estimator, "set_warm_start", None)
                     if setter is not None:
                         setter(self._perturbed_start(problem, attempt))
+                    telemetry.counter_inc("supervisor.retries")
+                    telemetry.add_event("supervisor.retry", method=name, attempt=attempt)
                     events.append(
                         DegradationEvent(
                             stage="retry",
@@ -179,24 +182,35 @@ class SupervisedEstimator(Estimator):
                             if series
                             else estimator.estimate(problem)
                         )
-                    if (
-                        self.require_convergence
-                        and result.diagnostics.get("solver_converged") is False
-                    ):
+                    converged = result.diagnostics.get(
+                        "converged", result.diagnostics.get("solver_converged")
+                    )
+                    if self.require_convergence and converged is False:
                         raise EstimationError(
-                            f"method {name!r} reported solver_converged=False"
+                            f"method {name!r} reported converged=False"
                         )
                 except (EstimationError, SolverError) as exc:
                     stage = (
                         "budget" if isinstance(exc, BudgetExceededError) else "estimate"
                     )
                     reason = FailureReason.from_exception(exc, spec=name, stage=stage)
+                    detail = reason.describe()
+                    if isinstance(exc, BudgetExceededError):
+                        # The exception message already carries the
+                        # structured accounting (ticks, limits, and elapsed
+                        # seconds for time trips); wall-clock is kept out of
+                        # iteration-trip details so serial and parallel
+                        # degradation records stay identical.
+                        telemetry.counter_inc("supervisor.budget_trips")
                     events.append(
                         DegradationEvent(
-                            stage=stage, kind=reason.exception, detail=reason.describe()
+                            stage=stage, kind=reason.exception, detail=detail
                         )
                     )
                     continue
+                if name != self.primary:
+                    telemetry.counter_inc("supervisor.fallbacks")
+                    telemetry.add_event("supervisor.fallback", used=name)
                 report = DegradationReport(
                     requested=self.primary,
                     used=name,

@@ -24,6 +24,7 @@ from typing import Mapping, Optional, Sequence, Union
 import numpy as np
 import scipy.sparse
 
+from repro import telemetry
 from repro.errors import RoutingError
 from repro.routing.backends import RoutingBackend, make_backend
 from repro.routing.cspf import CSPFRouter
@@ -327,6 +328,20 @@ def build_routing_matrix(
         ``"dense"`` or ``"sparse"``).
     """
     pairs = network.node_pairs()
+    with telemetry.span(
+        "routing.build_matrix", links=network.num_links, pairs=len(pairs)
+    ):
+        return _assemble_routing_matrix(network, pairs, paths, use_cspf, bandwidths, backend)
+
+
+def _assemble_routing_matrix(
+    network: Network,
+    pairs: tuple[NodePair, ...],
+    paths: Optional[Mapping[NodePair, Path]],
+    use_cspf: bool,
+    bandwidths: Optional[Mapping[NodePair, float]],
+    backend: str,
+) -> RoutingMatrix:
     if paths is None:
         if use_cspf:
             router = CSPFRouter(network)

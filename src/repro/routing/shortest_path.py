@@ -22,6 +22,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
 
+from repro import telemetry
 from repro.errors import RoutingError
 from repro.topology.elements import Link, NodePair
 from repro.topology.network import Network
@@ -481,6 +482,10 @@ class ShortestPathRouter:
         """
         if pairs is None:
             pairs = self.network.node_pairs()
+        with telemetry.span("routing.route_all", pairs=len(pairs)):
+            return self._route_all_grouped(pairs)
+
+    def _route_all_grouped(self, pairs: Sequence[NodePair]) -> dict[NodePair, Path]:
         by_origin: dict[str, list[NodePair]] = {}
         for pair in pairs:
             self.network.node(pair.origin)

@@ -81,7 +81,7 @@ class TestBayesian:
     def test_diagnostics_reported(self, line_problem):
         _, problem = line_problem
         result = BayesianEstimator(regularization=10.0).estimate(problem)
-        assert "link_residual" in result.diagnostics
+        assert "residual_norm" in result.diagnostics
         assert "prior_distance" in result.diagnostics
 
 

@@ -92,8 +92,8 @@ class TestWindowLevelMethods:
         warm.set_warm_start(cold_result.vector)
         warm_result = warm.estimate(series_problem)
         assert (
-            warm_result.diagnostics["solver_iterations"]
-            < cold_result.diagnostics["solver_iterations"]
+            warm_result.diagnostics["iterations"]
+            < cold_result.diagnostics["iterations"]
         )
         scale = max(1.0, float(cold_result.vector.max()))
         np.testing.assert_allclose(

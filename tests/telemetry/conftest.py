@@ -1,0 +1,29 @@
+"""Fixtures for the telemetry tests.
+
+Telemetry state is process-global (one enabled flag, one span collector,
+one metrics registry), so every test in this package runs under an
+autouse guard that disables and clears telemetry afterwards — a leaked
+enabled flag would make unrelated suites start collecting spans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_clean():
+    telemetry.disable()
+    telemetry.reset_telemetry()
+    yield
+    telemetry.disable()
+    telemetry.reset_telemetry()
+
+
+@pytest.fixture
+def telemetry_on(_telemetry_clean):
+    """Telemetry enabled with empty collectors, torn down afterwards."""
+    telemetry.enable()
+    yield

@@ -1,0 +1,73 @@
+"""Metrics registry: recording, aggregation and cross-process merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+class TestDisabled:
+    def test_all_recorders_are_noops(self):
+        telemetry.counter_inc("c")
+        telemetry.gauge_set("g", 3.0)
+        telemetry.histogram_observe("h", 1.0)
+        telemetry.record_iterations(5)
+        snapshot = telemetry.metrics_snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestRecording:
+    def test_counters_add_gauges_overwrite(self, telemetry_on):
+        telemetry.counter_inc("solver.iterations", 3)
+        telemetry.counter_inc("solver.iterations", 2)
+        telemetry.gauge_set("pool.jobs", 2)
+        telemetry.gauge_set("pool.jobs", 4)
+        snapshot = telemetry.metrics_snapshot()
+        assert snapshot["counters"]["solver.iterations"] == 5
+        assert snapshot["gauges"]["pool.jobs"] == 4.0
+
+    def test_histogram_stats(self, telemetry_on):
+        for value in (4.0, 1.0, 3.0, 2.0):
+            telemetry.histogram_observe("wait", value)
+        stats = telemetry.metrics_snapshot()["histograms"]["wait"]
+        assert stats["count"] == 4
+        assert stats["sum"] == 10.0
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        assert stats["p50"] == 2.0
+        assert stats["p95"] == 3.0  # index int(0.95 * 3) == 2 of the sorted values
+
+    def test_record_iterations_feeds_counter_and_open_span(self, telemetry_on):
+        with telemetry.span("estimate"):
+            telemetry.record_iterations(4)
+            telemetry.record_iterations(2)
+        assert telemetry.metrics_snapshot()["counters"]["solver.iterations"] == 6
+        (record,) = telemetry.drain_spans()
+        assert record.attributes["ticks"] == 6
+
+
+class TestMerge:
+    def test_drain_clears_and_merge_restores_serial_totals(self, telemetry_on):
+        telemetry.counter_inc("ipf.sweeps", 7)
+        telemetry.gauge_set("gauge", 1.0)
+        telemetry.histogram_observe("wait", 0.25)
+        shipped = telemetry.drain_metrics()
+        assert telemetry.metrics_snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        # parent already has its own tallies; the worker payload folds in
+        telemetry.counter_inc("ipf.sweeps", 3)
+        telemetry.histogram_observe("wait", 0.75)
+        telemetry.merge_metrics(shipped)
+        snapshot = telemetry.metrics_snapshot()
+        assert snapshot["counters"]["ipf.sweeps"] == 10
+        assert snapshot["gauges"]["gauge"] == 1.0
+        assert snapshot["histograms"]["wait"]["count"] == 2
+        assert snapshot["histograms"]["wait"]["sum"] == 1.0
+
+    def test_merge_none_is_a_noop(self, telemetry_on):
+        telemetry.merge_metrics(None)
+        assert telemetry.metrics_snapshot()["counters"] == {}

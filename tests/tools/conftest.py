@@ -24,15 +24,18 @@ if str(TOOLS_DIR) not in sys.path:
 def lint(tmp_path):
     """Run reprolint rules over an inline source snippet.
 
-    Returns ``lint(source, rules=None, allowlist=())`` -> list[Diagnostic],
-    writing the snippet to a temp file so diagnostics carry real paths
-    (always ``snippet.py`` relative to the temp root).
+    Returns ``lint(source, rules=None, allowlist=(), path="snippet.py")``
+    -> list[Diagnostic], writing the snippet to a temp file so diagnostics
+    carry real paths (``path`` is relative to the temp root; rules that
+    scope by location — e.g. ``telemetry``, which only checks ``src/`` —
+    see it as the repo-relative path).
     """
     from reprolint.engine import run_rules
     from reprolint.rules import ALL_RULES
 
-    def run(source: str, rules=None, allowlist=()):
-        snippet = tmp_path / "snippet.py"
+    def run(source: str, rules=None, allowlist=(), path="snippet.py"):
+        snippet = tmp_path / path
+        snippet.parent.mkdir(parents=True, exist_ok=True)
         snippet.write_text(textwrap.dedent(source))
         return run_rules(list(rules or ALL_RULES), [snippet], tmp_path, allowlist)
 

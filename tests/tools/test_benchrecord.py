@@ -1,0 +1,50 @@
+"""The shared benchmark-record helper: key merging and the meta block."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from benchrecord import merge_record, record_meta  # noqa: E402
+
+
+META_FIELDS = (
+    "git_sha",
+    "python_version",
+    "numpy_version",
+    "platform",
+    "cpu_count",
+    "recorded_at_utc",
+)
+
+
+def test_record_meta_fields():
+    meta = record_meta()
+    assert set(META_FIELDS) <= set(meta)
+    assert meta["python_version"].count(".") == 2
+    assert meta["cpu_count"] >= 1
+    assert "T" in meta["recorded_at_utc"]  # ISO-8601 timestamp
+
+
+def test_merge_preserves_existing_keys_and_stamps_meta(tmp_path):
+    path = tmp_path / "BENCH_TEST.json"
+    merge_record(path, "first", {"seconds": 1.5})
+    merge_record(path, "second", {"seconds": 2.5})
+    record = json.loads(path.read_text())
+    assert record["first"] == {"seconds": 1.5}
+    assert record["second"] == {"seconds": 2.5}
+    assert set(META_FIELDS) <= set(record["meta"])
+
+
+def test_merge_replaces_corrupt_record(tmp_path):
+    path = tmp_path / "BENCH_TEST.json"
+    path.write_text("{not json")
+    merge_record(path, "only", {"seconds": 0.1})
+    record = json.loads(path.read_text())
+    assert set(record) == {"only", "meta"}

@@ -598,6 +598,111 @@ class TestFaultHandling:
         assert codes(found) == []
 
 
+class TestTelemetry:
+    SRC = "src/repro/evaluation/timing.py"
+
+    def test_module_attribute_timer_flagged(self, lint):
+        found = lint(
+            """
+            import time
+
+            def run(fn):
+                start = time.perf_counter()
+                result = fn()
+                return result, time.perf_counter() - start
+            """,
+            path=self.SRC,
+        )
+        assert codes(found) == ["REPRO601", "REPRO601"]
+        assert [d.line for d in found] == [5, 7]
+        assert "perf_counter" in found[0].message
+
+    def test_module_alias_and_bare_import_flagged(self, lint):
+        found = lint(
+            """
+            import time as _t
+            from time import monotonic as now
+
+            def stamp():
+                return _t.time(), now()
+            """,
+            path=self.SRC,
+        )
+        assert codes(found) == ["REPRO601", "REPRO601"]
+        assert "time" in found[0].message
+        assert "monotonic" in found[1].message
+
+    def test_sleep_and_unrelated_names_pass(self, lint):
+        found = lint(
+            """
+            import time
+
+            def wait(store):
+                time.sleep(0.01)
+                return store.time()  # a method named time, not the module
+            """,
+            path=self.SRC,
+        )
+        assert codes(found) == []
+
+    def test_telemetry_package_itself_exempt(self, lint):
+        found = lint(
+            """
+            import time
+
+            def clock():
+                return time.time()
+            """,
+            path="src/repro/telemetry/spans.py",
+        )
+        assert codes(found) == []
+
+    def test_outside_src_ignored(self, lint):
+        found = lint(
+            """
+            import time
+
+            def bench(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+            """,
+            path="benchmarks/bench_thing.py",
+        )
+        assert codes(found) == []
+
+    def test_pragma_suppresses(self, lint):
+        found = lint(
+            """
+            import time
+
+            def deadline():
+                return time.monotonic()  # reprolint: allow[telemetry]
+            """,
+            path=self.SRC,
+        )
+        assert codes(found) == []
+
+    def test_allowlist_suppresses(self, lint):
+        entry = AllowlistEntry(
+            rule="telemetry",
+            path="src/repro/evaluation/timing.py",
+            fragment="time.monotonic()",
+            reason="reviewed",
+        )
+        found = lint(
+            """
+            import time
+
+            def deadline():
+                return time.monotonic()
+            """,
+            allowlist=[entry],
+            path=self.SRC,
+        )
+        assert codes(found) == []
+
+
 class TestEngine:
     def test_parse_pragmas(self):
         pragmas = parse_pragmas(
@@ -627,5 +732,6 @@ class TestEngine:
             "pool-safety",
             "registry-contracts",
             "fault-handling",
+            "telemetry",
         }
         assert len({rule.code for rule in ALL_RULES}) == len(ALL_RULES)

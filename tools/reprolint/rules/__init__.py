@@ -7,11 +7,19 @@ from reprolint.rules.fault_handling import RULE as FAULT_HANDLING
 from reprolint.rules.pool_safety import RULE as POOL_SAFETY
 from reprolint.rules.registry_contracts import RULE as REGISTRY_CONTRACTS
 from reprolint.rules.sparse_safety import RULE as SPARSE_SAFETY
+from reprolint.rules.telemetry import RULE as TELEMETRY
 
 __all__ = ["ALL_RULES", "rules_by_name"]
 
 #: Evaluation order is also the display order of ``--list-rules``.
-ALL_RULES = (SPARSE_SAFETY, DETERMINISM, POOL_SAFETY, REGISTRY_CONTRACTS, FAULT_HANDLING)
+ALL_RULES = (
+    SPARSE_SAFETY,
+    DETERMINISM,
+    POOL_SAFETY,
+    REGISTRY_CONTRACTS,
+    FAULT_HANDLING,
+    TELEMETRY,
+)
 
 
 def rules_by_name() -> dict[str, object]:

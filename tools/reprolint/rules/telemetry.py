@@ -1,0 +1,132 @@
+"""``telemetry``: timing in library code goes through ``repro.telemetry``.
+
+PR 9 gave the pipeline one observability spine: spans carry wall-clock
+start times (``time.time`` via :func:`repro.telemetry.clock`) *and*
+monotonic durations, and the exporters align them across processes so a
+worker's trace slots under its submitting span.  Ad-hoc ``time.time()`` /
+``time.perf_counter()`` calls sprinkled through ``src/`` fork that spine:
+they measure things the trace cannot see, drift from the span clock
+conventions (wall vs. monotonic), and — worst — leak non-deterministic
+wall-clock values into records that PRs 3/8 pin as serial==parallel
+identical.
+
+This rule flags every call to a :mod:`time` timer function inside
+``src/`` (outside ``src/repro/telemetry/``, which *implements* the
+clocks):
+
+* module-attribute form — ``time.time()``, ``time.perf_counter()``,
+  ``time.monotonic()``, their ``_ns`` variants and ``process_time``,
+  through any ``import time as t`` alias;
+* bare imported form — ``from time import perf_counter`` followed by
+  ``perf_counter()`` (including ``as`` renames).
+
+Timing that belongs in a trace should open a span; code that genuinely
+needs a raw clock (e.g. the cooperative solver budget's deadline check)
+carries an inline ``# reprolint: allow[telemetry]`` pragma or an
+``allowlist.txt`` entry naming the file and line fragment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.astutil import dotted_name
+from reprolint.engine import Diagnostic, FileContext
+
+__all__ = ["RULE"]
+
+#: ``time`` module functions that read a clock.  ``sleep`` is deliberately
+#: absent — it does not *measure* anything.
+TIMER_FUNCTIONS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+
+class _TelemetryRule:
+    name = "telemetry"
+    code = "REPRO601"
+    description = (
+        "library code must not call time.time()/perf_counter()/monotonic() "
+        "directly; open a repro.telemetry span (or use telemetry.clock()) instead"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        if not context.path.startswith("src/"):
+            return
+        if context.path.startswith("src/repro/telemetry/"):
+            return
+        module_aliases, bare_timers = self._timer_bindings(context.tree)
+        if not module_aliases and not bare_timers:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            timer = self._timer_called(node, module_aliases, bare_timers)
+            if timer is None:
+                continue
+            yield Diagnostic(
+                path=context.path,
+                line=node.lineno,
+                column=node.col_offset + 1,
+                rule=self.name,
+                code=self.code,
+                message=(
+                    f"direct time.{timer}() call in library code — raw clock "
+                    "reads bypass the telemetry spine (spans align wall and "
+                    "monotonic clocks across processes) and risk leaking "
+                    "wall-clock into serial==parallel-identical records; wrap "
+                    "the region in telemetry.span(...) or use "
+                    "telemetry.clock() (reviewed exceptions: "
+                    "# reprolint: allow[telemetry])"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _timer_bindings(tree: ast.Module) -> tuple[set[str], dict[str, str]]:
+        """Names the ``time`` module and its timers are bound to here.
+
+        Returns ``(module_aliases, bare_timers)`` where ``module_aliases``
+        holds local names for the ``time`` module itself and
+        ``bare_timers`` maps a locally bound name to the timer it aliases.
+        """
+        module_aliases: set[str] = set()
+        bare_timers: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        module_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module != "time" or node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name in TIMER_FUNCTIONS:
+                        bare_timers[alias.asname or alias.name] = alias.name
+        return module_aliases, bare_timers
+
+    @staticmethod
+    def _timer_called(
+        call: ast.Call, module_aliases: set[str], bare_timers: dict[str, str]
+    ) -> str | None:
+        """The timer name a call resolves to, or ``None``."""
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        if "." in name:
+            prefix, leaf = name.rsplit(".", 1)
+            if prefix in module_aliases and leaf in TIMER_FUNCTIONS:
+                return leaf
+            return None
+        return bare_timers.get(name)
+
+
+RULE = _TelemetryRule()

@@ -1,0 +1,171 @@
+"""Acceptance benchmark: per-poll streaming update latency at scale.
+
+The batch pipeline gets a whole day of polls at once and can afford
+seconds per solve; the streaming daemon sits inside a five-minute poll
+loop and must finish each incremental update long before the next round
+arrives.  This benchmark drives :class:`~repro.streaming.StreamingEstimator`
+over a ``large_scenario`` backbone (default N=200, i.e. 39 800 demands)
+and times every ``process_round`` call:
+
+* **warm path (gated)** — the incremental-IPF path (``kruithof`` with the
+  previous estimate as the warm start) must complete its median per-poll
+  update under the floor (100 ms on dedicated hardware; shared CI runners
+  relax it via ``BENCH_PR10_MAX_POLL_MS``);
+* **tomogravity (recorded)** — the default daemon method, timed for
+  reference but ungated: its per-poll cost is dominated by the regularised
+  solve, not the streaming machinery;
+* **checkpoint round-trip (recorded)** — one ``checkpoint``/``restore``
+  cycle at full scale, since the crash-safety story is only practical if
+  saving state is much cheaper than a poll interval.
+
+Results land under the ``streaming`` key of ``BENCH_PR10.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py
+    PYTHONPATH=src BENCH_PR10_NS=100 BENCH_PR10_MAX_POLL_MS=250 \
+        python benchmarks/bench_streaming.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from benchrecord import REPO_ROOT, merge_record
+
+RECORD_PATH = REPO_ROOT / "BENCH_PR10.json"
+
+SEED = 2010
+#: Timed poll rounds per method (after the priming round).
+ROUNDS = 8
+
+
+def build_stream(num_nodes: int):
+    from repro.datasets import large_scenario
+    from repro.measurement.collector import DistributedCollector
+    from repro.streaming import PollStream
+
+    scenario = large_scenario(num_nodes, seed=SEED, num_samples=ROUNDS + 2)
+    collector = DistributedCollector(
+        scenario.routing,
+        num_pollers=2,
+        jitter_std_seconds=0.0,
+        loss_probability=0.0,
+        seed=SEED,
+    )
+    stream = PollStream.from_collector(collector, scenario.day_series)
+    return scenario, collector, stream
+
+
+def time_daemon(scenario, collector, stream, method: str, **kwargs) -> dict:
+    from repro.streaming import StreamingEstimator
+
+    daemon = StreamingEstimator.from_collector(
+        collector,
+        method=method,
+        watchdog_every=10_000,  # keep cold re-solves out of the timed rounds
+        **kwargs,
+    )
+    per_poll_ms = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for poll_round in stream.rounds():
+            start = time.perf_counter()
+            record = daemon.process_round(poll_round, stream)
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            if record is not None:  # the priming round emits nothing
+                per_poll_ms.append(elapsed_ms)
+    return {
+        "method": method,
+        "rounds": len(per_poll_ms),
+        "per_poll_ms_median": float(np.median(per_poll_ms)),
+        "per_poll_ms_mean": float(np.mean(per_poll_ms)),
+        "per_poll_ms_max": float(np.max(per_poll_ms)),
+    }, daemon
+
+
+def time_checkpoint(daemon, routing) -> dict:
+    import tempfile
+
+    from repro.streaming import StreamingEstimator
+
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, "bench.ckpt")
+        start = time.perf_counter()
+        daemon.checkpoint(path)
+        save_ms = (time.perf_counter() - start) * 1e3
+        size_bytes = os.path.getsize(path)
+        start = time.perf_counter()
+        StreamingEstimator.restore(path, routing)
+        restore_ms = (time.perf_counter() - start) * 1e3
+    return {
+        "save_ms": float(save_ms),
+        "restore_ms": float(restore_ms),
+        "size_bytes": int(size_bytes),
+    }
+
+
+def main() -> int:
+    num_nodes = int(os.environ.get("BENCH_PR10_NS", "200"))
+    max_poll_ms = float(os.environ.get("BENCH_PR10_MAX_POLL_MS", "100"))
+
+    print(f"building N={num_nodes} stream ({num_nodes * (num_nodes - 1)} demands)")
+    scenario, collector, stream = build_stream(num_nodes)
+    print(
+        f"  {len(scenario.routing.link_names)} links, "
+        f"{stream.num_rounds} poll rounds"
+    )
+
+    warm, warm_daemon = time_daemon(scenario, collector, stream, "kruithof")
+    print(
+        f"warm incremental-IPF path: median {warm['per_poll_ms_median']:.1f} ms/poll "
+        f"(max {warm['per_poll_ms_max']:.1f} ms) over {warm['rounds']} rounds"
+    )
+
+    reference, _ = time_daemon(scenario, collector, stream, "tomogravity")
+    print(
+        f"tomogravity reference:     median {reference['per_poll_ms_median']:.1f} ms/poll "
+        f"(max {reference['per_poll_ms_max']:.1f} ms)"
+    )
+
+    checkpoint = time_checkpoint(warm_daemon, scenario.routing)
+    print(
+        f"checkpoint round-trip: save {checkpoint['save_ms']:.1f} ms, "
+        f"restore {checkpoint['restore_ms']:.1f} ms "
+        f"({checkpoint['size_bytes'] / 1e6:.2f} MB)"
+    )
+
+    payload = {
+        "num_nodes": num_nodes,
+        "num_pairs": num_nodes * (num_nodes - 1),
+        "num_links": len(scenario.routing.link_names),
+        "max_poll_ms_floor": max_poll_ms,
+        "warm_path": warm,
+        "tomogravity_reference": reference,
+        "checkpoint": checkpoint,
+    }
+    merge_record(RECORD_PATH, "streaming", payload)
+    print(f"record written to {RECORD_PATH}")
+
+    if warm["per_poll_ms_median"] >= max_poll_ms:
+        print(
+            f"FAIL: warm per-poll median {warm['per_poll_ms_median']:.1f} ms "
+            f">= {max_poll_ms:.0f} ms floor"
+        )
+        return 1
+    print(
+        f"OK: warm per-poll median {warm['per_poll_ms_median']:.1f} ms "
+        f"< {max_poll_ms:.0f} ms floor"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,16 @@ class PlanningError(ReproError):
     """
 
 
+class StreamingError(ReproError):
+    """Raised by the streaming estimation daemon on invalid input or state.
+
+    Examples include poll rounds whose object set does not match the
+    daemon's configuration, a checkpoint whose version or fingerprint does
+    not match the restoring process, or an attempt to resume a stream at a
+    round the checkpoint has already consumed.
+    """
+
+
 class SolverError(ReproError):
     """Raised by the numerical substrate when an optimisation problem fails.
 

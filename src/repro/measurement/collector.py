@@ -33,8 +33,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import MeasurementError
-from repro.measurement.snmp import RateDiagnostics, SNMPPoller, rates_from_poll_matrix
+from repro.measurement.snmp import (
+    PollMatrix,
+    RateDiagnostics,
+    SNMPPoller,
+    rates_from_poll_matrix,
+)
 from repro.routing.routing_matrix import RoutingMatrix
 from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSeries
 
@@ -49,13 +55,32 @@ class MeasurementArchive:
     path) or per :meth:`record` call (single sample).  Queries merge the
     blocks and sort by timestamp, so the order in which pollers ship their
     results never affects the assembled series.
+
+    Parameters
+    ----------
+    max_samples:
+        Optional ring-buffer bound: keep at most this many of the *newest*
+        samples (by timestamp) per object, evicting older ones as new
+        blocks arrive.  A streamed day would otherwise grow the archive
+        without bound; a bounded archive holds the recent window the
+        streaming estimator actually consumes.  ``None`` (default) keeps
+        everything — the batch pipeline's historical behaviour.
+
+    With telemetry enabled the archive maintains two gauges,
+    ``archive.retained_samples`` and ``archive.retained_bytes``, updated on
+    every record/eviction so a dashboard can watch the ring stay bounded.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_samples: Optional[int] = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise MeasurementError("max_samples must be positive (or None for unbounded)")
+        self.max_samples = int(max_samples) if max_samples is not None else None
         self._blocks: dict[str, list[tuple[np.ndarray, np.ndarray]]] = defaultdict(list)
         # Single samples land in plain lists (O(1) per record) and are
         # coalesced into one array block when the object is next queried.
         self._pending: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        #: Samples evicted by the ring-buffer bound since construction.
+        self.evicted_samples: int = 0
 
     def record(self, object_name: str, timestamp: float, rate_mbps: float) -> None:
         """Store one sample; rates must be non-negative."""
@@ -63,6 +88,13 @@ class MeasurementArchive:
             raise MeasurementError(f"negative rate recorded for {object_name!r}")
         self._blocks[object_name]  # register the object in insertion order
         self._pending[object_name].append((float(timestamp), float(rate_mbps)))
+        if self.max_samples is not None and (
+            len(self._pending[object_name])
+            + sum(len(block[0]) for block in self._blocks[object_name])
+            > self.max_samples
+        ):
+            self._evict(object_name)
+        self._update_gauges()
 
     def record_block(
         self,
@@ -91,8 +123,39 @@ class MeasurementArchive:
             raise MeasurementError("duplicate object names in block")
         for col, name in enumerate(object_names):
             self._blocks[name].append((timestamps, rates[:, col]))
+            if self.max_samples is not None and self.num_samples(name) > self.max_samples:
+                self._evict(name)
+        self._update_gauges()
 
     # ------------------------------------------------------------------
+    def _evict(self, object_name: str) -> None:
+        """Trim ``object_name`` to the newest ``max_samples`` samples.
+
+        Coalesces the object's blocks into one timestamp-sorted block and
+        keeps the tail, so eviction is by measurement time regardless of
+        the order pollers shipped their results in.
+        """
+        assert self.max_samples is not None
+        timestamps, rates = self._merged(object_name)
+        dropped = len(timestamps) - self.max_samples
+        if dropped <= 0:
+            return
+        self.evicted_samples += dropped
+        self._blocks[object_name] = [
+            (timestamps[dropped:], rates[dropped:])
+        ]
+
+    def _update_gauges(self) -> None:
+        if not telemetry.is_enabled():
+            return
+        samples = 0
+        for name, blocks in self._blocks.items():
+            samples += sum(len(block[0]) for block in blocks)
+            samples += len(self._pending.get(name, ()))
+        # One float timestamp + one float rate per retained sample.
+        telemetry.gauge_set("archive.retained_samples", samples)
+        telemetry.gauge_set("archive.retained_bytes", samples * 16)
+
     def _merged(self, object_name: str) -> tuple[np.ndarray, np.ndarray]:
         """All samples of one object, sorted by timestamp."""
         pending = self._pending.pop(object_name, None)
@@ -182,6 +245,10 @@ class DistributedCollector:
         plan resolved for its own index (``plan.for_poller(idx)``) with its
         index as fault salt, so collector outages hit the right poller and
         probabilistic faults draw reproducible per-poller streams.
+    archive_max_samples:
+        Optional per-object ring-buffer bound forwarded to the central
+        :class:`MeasurementArchive` (see its ``max_samples``); ``None``
+        keeps the archive unbounded.
     """
 
     def __init__(
@@ -195,11 +262,12 @@ class DistributedCollector:
         max_interpolated_fraction: float = 1.0,
         counter_bits: int = 64,
         fault_plan: Optional[object] = None,
+        archive_max_samples: Optional[int] = None,
     ) -> None:
         if num_pollers < 1:
             raise MeasurementError("need at least one poller")
         self.routing = routing
-        self.archive = MeasurementArchive()
+        self.archive = MeasurementArchive(max_samples=archive_max_samples)
         self.interval_seconds = float(interval_seconds)
         self.max_interpolated_fraction = float(max_interpolated_fraction)
         #: Per-poller sample accounting of the most recent :meth:`collect` run.
@@ -297,6 +365,46 @@ class DistributedCollector:
             self.archive.record_block(poller.object_names, timestamps, rates)
         self.poll_diagnostics = tuple(diagnostics)
         return self.archive
+
+    def poll_matrices(
+        self, series: TrafficMatrixSeries, start_time: Optional[float] = None
+    ) -> list[PollMatrix]:
+        """Run every poller's schedule and return the *raw* poll matrices.
+
+        This is the streaming layer's entry point: instead of deriving
+        rates and filling the archive in one batch (:meth:`collect`), the
+        caller receives each poller's ``(rounds, objects)``
+        :class:`~repro.measurement.snmp.PollMatrix` — faults applied — and
+        consumes the rounds one at a time (see
+        :class:`repro.streaming.PollStream`).  Counter state advances
+        exactly as in :meth:`collect`, so a collector is used for one mode
+        or the other, not both over the same series.
+        """
+        if series.pairs != self.routing.pairs:
+            raise MeasurementError("series pair ordering does not match the routing matrix")
+        if not np.isclose(series.interval_seconds, self.interval_seconds):
+            raise MeasurementError(
+                f"series interval ({series.interval_seconds} s) does not match "
+                f"the polling interval ({self.interval_seconds} s)"
+            )
+        if start_time is None:
+            start_time = series.start_time_seconds
+        start_time = float(start_time)
+        rate_matrix = self._object_rate_matrix(series)
+        return [
+            poller.run_schedule_matrix(rate_matrix[:, columns], start_time=start_time)
+            for poller, columns in zip(self.pollers, self._assigned_columns)
+        ]
+
+    @property
+    def lsp_object_names(self) -> tuple[str, ...]:
+        """Archive object names of the LSP counters, in pair order."""
+        return self._lsp_names
+
+    @property
+    def link_object_names(self) -> tuple[str, ...]:
+        """Archive object names of the link counters, in link order."""
+        return self._link_names
 
     def collection_diagnostics(self) -> RateDiagnostics:
         """Sample accounting of the last :meth:`collect`, merged over pollers."""

@@ -28,7 +28,7 @@ This module models that pipeline for a single poller:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -274,6 +274,14 @@ class RateDiagnostics:
         Samples where the counter went backwards by *less* than half the
         counter space: a legitimate modulo-``2**counter_bits`` wrap whose
         delta was recovered (these samples stay valid).
+    validity:
+        Optional boolean ``(num_intervals, num_objects)`` mask: ``True``
+        where the rate was derived from two good polls, ``False`` where it
+        was filled by interpolation (lost / degenerate / reset samples).
+        Callers that must not consume fabricated data — the streaming
+        estimator, quality gates — read this instead of re-deriving the
+        loss pattern from the poll matrix.  Excluded from equality
+        comparisons so diagnostics records stay cheaply comparable.
     """
 
     num_intervals: int
@@ -283,6 +291,7 @@ class RateDiagnostics:
     interpolated_samples: int
     reset_samples: int = 0
     wrap_samples: int = 0
+    validity: Optional[np.ndarray] = field(default=None, compare=False, repr=False)
 
     @property
     def total_samples(self) -> int:
@@ -300,6 +309,9 @@ class RateDiagnostics:
         """Combine the accounting of two conversions (e.g. of two pollers)."""
         if self.num_intervals != other.num_intervals:
             raise MeasurementError("cannot merge diagnostics over different interval counts")
+        validity = None
+        if self.validity is not None and other.validity is not None:
+            validity = np.hstack([self.validity, other.validity])
         return RateDiagnostics(
             num_intervals=self.num_intervals,
             num_objects=self.num_objects + other.num_objects,
@@ -308,6 +320,7 @@ class RateDiagnostics:
             interpolated_samples=self.interpolated_samples + other.interpolated_samples,
             reset_samples=self.reset_samples + other.reset_samples,
             wrap_samples=self.wrap_samples + other.wrap_samples,
+            validity=validity,
         )
 
 
@@ -564,7 +577,10 @@ def rates_from_poll_matrix(
         measurements any more.
 
     Returns ``(rates, diagnostics)`` with ``rates`` of shape
-    ``(K, num_objects)``.
+    ``(K, num_objects)``; ``diagnostics.validity`` carries the per-sample
+    boolean mask (``False`` where the returned rate was interpolated), so
+    callers can skip fabricated samples without re-deriving the loss
+    pattern.
     """
     if polls.num_rounds < 2:
         raise MeasurementError("need at least two poll rounds to derive rates")
@@ -600,6 +616,8 @@ def rates_from_poll_matrix(
         name = polls.object_names[int(np.argmin(valid_per_object))]
         raise MeasurementError(f"all polls lost for object {name!r}")
 
+    validity = valid.copy()
+    validity.setflags(write=False)
     diagnostics = RateDiagnostics(
         num_intervals=num_intervals,
         num_objects=polls.num_objects,
@@ -608,6 +626,7 @@ def rates_from_poll_matrix(
         interpolated_samples=int((~valid).sum()),
         reset_samples=int(reset.sum()),
         wrap_samples=int(wrapped.sum()),
+        validity=validity,
     )
     if diagnostics.interpolated_fraction > max_interpolated_fraction:
         raise MeasurementError(

@@ -143,10 +143,17 @@ class SupervisedEstimator(Estimator):
         events: list[DegradationEvent] = []
         attempts = 0
         for name, params, retries in steps:
+            if name != self.primary:
+                # Hop onto the next fallback of the declared chain.
+                telemetry.counter_inc("supervisor.chain_hops")
+                telemetry.add_event("supervisor.chain_hop", method=name)
             try:
                 estimator = get_estimator(name, **params)
             except (EstimationError, TypeError) as exc:
                 attempts += 1
+                telemetry.counter_inc("supervisor.attempts")
+                telemetry.counter_inc("supervisor.construct_failures")
+                telemetry.add_event("supervisor.construct_failure", method=name)
                 reason = FailureReason.from_exception(exc, spec=name, stage="construct")
                 events.append(
                     DegradationEvent(
@@ -158,6 +165,7 @@ class SupervisedEstimator(Estimator):
                 continue
             for attempt in range(retries + 1):
                 attempts += 1
+                telemetry.counter_inc("supervisor.attempts")
                 if attempt > 0:
                     setter = getattr(estimator, "set_warm_start", None)
                     if setter is not None:
@@ -202,6 +210,15 @@ class SupervisedEstimator(Estimator):
                         # iteration-trip details so serial and parallel
                         # degradation records stay identical.
                         telemetry.counter_inc("supervisor.budget_trips")
+                        telemetry.add_event(
+                            "supervisor.budget_trip",
+                            method=name,
+                            **{
+                                key: value
+                                for key, value in exc.budget_details().items()
+                                if value is not None
+                            },
+                        )
                     events.append(
                         DegradationEvent(
                             stage=stage, kind=reason.exception, detail=detail
@@ -211,6 +228,7 @@ class SupervisedEstimator(Estimator):
                 if name != self.primary:
                     telemetry.counter_inc("supervisor.fallbacks")
                     telemetry.add_event("supervisor.fallback", used=name)
+                telemetry.histogram_observe("supervisor.attempts_per_call", attempts)
                 report = DegradationReport(
                     requested=self.primary,
                     used=name,

@@ -1,0 +1,37 @@
+"""Crash-safe streaming estimation over live SNMP poll rounds.
+
+The batch pipeline answers "what were the demands yesterday?"; this
+package answers "what are they *now*, and keep answering while things
+break".  :class:`~repro.streaming.stream.PollStream` turns the per-poller
+poll matrices of a collector run into an ordered sequence of poll rounds;
+:class:`~repro.streaming.daemon.StreamingEstimator` consumes them one at a
+time, deriving rates causally and updating its estimate incrementally
+(warm-started solves / incremental IPF) while surviving poll loss,
+collector outages, solver failures, routing churn and process crashes.
+:mod:`~repro.streaming.checkpoint` provides the versioned serialization
+that makes a kill -9 followed by a restore reproduce the uninterrupted
+run's records bit for bit.
+"""
+
+from repro.streaming.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    restore_daemon,
+    routing_fingerprint,
+    save_checkpoint,
+)
+from repro.streaming.daemon import StreamingEstimator, StreamRecord
+from repro.streaming.stream import CounterTracker, PollRound, PollStream
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CounterTracker",
+    "PollRound",
+    "PollStream",
+    "StreamRecord",
+    "StreamingEstimator",
+    "load_checkpoint",
+    "restore_daemon",
+    "routing_fingerprint",
+    "save_checkpoint",
+]

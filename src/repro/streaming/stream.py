@@ -1,0 +1,272 @@
+"""Poll-round streaming primitives.
+
+The batch pipeline hands :func:`~repro.measurement.snmp.rates_from_poll_matrix`
+a complete ``(rounds, objects)`` poll matrix and lets it interpolate over
+the holes with full hindsight.  A streaming consumer has neither the whole
+matrix nor hindsight: polls arrive one round at a time, possibly from
+several pollers, and every hole must be handled *causally* — with only the
+past.  This module provides the two primitives the
+:class:`~repro.streaming.daemon.StreamingEstimator` builds on:
+
+* :class:`PollStream` — a round-by-round view over one or more
+  :class:`~repro.measurement.snmp.PollMatrix` objects sharing a schedule
+  (e.g. the per-poller matrices of a
+  :class:`~repro.measurement.collector.DistributedCollector`), with
+  per-object counter widths so Counter32 pollers can coexist with
+  Counter64 ones;
+* :class:`CounterTracker` — the causal counterpart of
+  ``rates_from_poll_matrix``: O(objects) state that turns consecutive
+  polls into interval rates with the same wrap/reset/degenerate semantics,
+  but *holds the last derived rate* over holes instead of interpolating
+  (the future samples interpolation needs do not exist yet).  On a clean
+  schedule the two derivations agree bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import StreamingError
+from repro.measurement.snmp import PollMatrix
+
+__all__ = ["PollRound", "PollStream", "CounterTracker"]
+
+_RATE_PER_BYTE_SECOND = 8.0 / 1e6
+
+
+@dataclass(frozen=True)
+class PollRound:
+    """One scheduled poll round across every streamed object.
+
+    Arrays are aligned with the owning :class:`PollStream`'s
+    ``object_names``; ``counters`` entries where ``lost`` is true are
+    undefined.
+    """
+
+    index: int
+    scheduled_time: float
+    response_times: np.ndarray
+    counters: np.ndarray
+    lost: np.ndarray
+
+
+class PollStream:
+    """Round-by-round view over poll matrices sharing one schedule.
+
+    Parameters
+    ----------
+    matrices:
+        One or more :class:`~repro.measurement.snmp.PollMatrix` objects
+        with identical ``scheduled_times`` (what the pollers of one
+        collector produce).  Object name sets must be disjoint; columns are
+        concatenated in matrix order.
+    """
+
+    def __init__(self, matrices: Sequence[PollMatrix]) -> None:
+        if not matrices:
+            raise StreamingError("a poll stream needs at least one poll matrix")
+        reference = matrices[0].scheduled_times
+        names: list[str] = []
+        bits: list[int] = []
+        for matrix in matrices:
+            if matrix.scheduled_times.shape != reference.shape or not np.array_equal(
+                matrix.scheduled_times, reference
+            ):
+                raise StreamingError("poll matrices follow different schedules")
+            names.extend(matrix.object_names)
+            bits.extend([matrix.counter_bits] * matrix.num_objects)
+        if len(set(names)) != len(names):
+            raise StreamingError("duplicate object names across poll matrices")
+        self._matrices = tuple(matrices)
+        self.object_names: tuple[str, ...] = tuple(names)
+        #: Per-object counter width (pollers may mix Counter32 and Counter64).
+        self.object_bits: np.ndarray = np.asarray(bits, dtype=np.uint64)
+        self.scheduled_times: np.ndarray = reference
+        self.object_bits.setflags(write=False)
+
+    @classmethod
+    def from_collector(cls, collector, series, start_time: Optional[float] = None) -> "PollStream":
+        """Stream the faulted poll matrices of a distributed collector run.
+
+        Runs every poller's schedule over ``series`` (fault plans applied
+        exactly as in :meth:`~repro.measurement.collector.DistributedCollector.collect`)
+        and wraps the resulting matrices.
+        """
+        return cls(collector.poll_matrices(series, start_time=start_time))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        """Number of poll rounds (intervals + 1)."""
+        return len(self.scheduled_times)
+
+    @property
+    def num_objects(self) -> int:
+        """Number of streamed objects across all matrices."""
+        return len(self.object_names)
+
+    def round(self, index: int) -> PollRound:
+        """Poll round ``index`` with columns of every matrix concatenated."""
+        if not 0 <= index < self.num_rounds:
+            raise StreamingError(
+                f"round index {index} out of range for {self.num_rounds} rounds"
+            )
+        return PollRound(
+            index=index,
+            scheduled_time=float(self.scheduled_times[index]),
+            response_times=np.concatenate(
+                [matrix.response_times[index] for matrix in self._matrices]
+            ),
+            counters=np.concatenate(
+                [matrix.counters[index] for matrix in self._matrices]
+            ),
+            lost=np.concatenate([matrix.lost[index] for matrix in self._matrices]),
+        )
+
+    def rounds(self, start: int = 0):
+        """Iterate rounds from ``start`` (used to resume after a restore)."""
+        for index in range(start, self.num_rounds):
+            yield self.round(index)
+
+
+class CounterTracker:
+    """Causal per-object rate derivation over a stream of poll rounds.
+
+    Keeps the last *answered* poll of every object (counter value and
+    response time) plus the last successfully derived rate.  Each call to
+    :meth:`observe` classifies the new poll exactly like the batch path —
+    uint64 deltas reduced modulo the per-object counter space, a backwards
+    counter within half the space is a recovered wrap, beyond half the
+    space a reset — and returns the current rate vector with a freshness
+    mask.  Objects without a fresh sample keep their held rate (zero until
+    first derivation) and age their staleness counter.
+
+    Because the last answered poll is retained across lost rounds, the
+    first poll after a loss burst yields the *gap-average* rate (the
+    counter delta over the whole gap), which is what a production
+    collector reports after an outage.
+
+    All state is five flat arrays, so the tracker checkpoints exactly and
+    cheaply (see :mod:`repro.streaming.checkpoint`).
+    """
+
+    def __init__(self, num_objects: int) -> None:
+        if num_objects < 1:
+            raise StreamingError("tracker needs at least one object")
+        self.num_objects = int(num_objects)
+        self.have_last = np.zeros(num_objects, dtype=bool)
+        self.last_counter = np.zeros(num_objects, dtype=np.uint64)
+        self.last_response = np.zeros(num_objects, dtype=float)
+        self.rate = np.zeros(num_objects, dtype=float)
+        self.stale_rounds = np.zeros(num_objects, dtype=np.int64)
+        #: Cumulative classification counts (mirrors RateDiagnostics).
+        self.wrap_samples = 0
+        self.reset_samples = 0
+        self.degenerate_samples = 0
+        self.lost_samples = 0
+
+    def observe(
+        self,
+        response_times: np.ndarray,
+        counters: np.ndarray,
+        lost: np.ndarray,
+        counter_bits: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fold one poll round into the tracker.
+
+        Returns ``(rates, fresh)``: the per-object rate vector (held values
+        where no fresh sample exists) and the boolean mask of objects whose
+        rate was derived from this round's poll.
+        """
+        shape = (self.num_objects,)
+        for name, array in (
+            ("response_times", response_times),
+            ("counters", counters),
+            ("lost", lost),
+            ("counter_bits", counter_bits),
+        ):
+            if array.shape != shape:
+                raise StreamingError(
+                    f"{name} has shape {array.shape}, expected {shape}"
+                )
+        answered = ~lost
+        usable = answered & self.have_last
+
+        # uint64 subtraction wraps modulo 2**64; narrower counters reduce
+        # the same difference modulo their own space, recovering the true
+        # delta across a legitimate wrap (same arithmetic as the batch path).
+        deltas = counters - self.last_counter
+        narrow = counter_bits < np.uint64(64)
+        if narrow.any():
+            space = np.uint64(1) << counter_bits[narrow]
+            deltas = deltas.copy()
+            deltas[narrow] = deltas[narrow] % space
+        half_space = np.uint64(1) << (counter_bits - np.uint64(1))
+
+        elapsed = response_times - self.last_response
+        degenerate = usable & (elapsed <= 0)
+        backwards = usable & (counters < self.last_counter)
+        reset = usable & ~degenerate & backwards & (deltas > half_space)
+        fresh = usable & ~degenerate & ~reset
+
+        if fresh.any():
+            self.rate[fresh] = (
+                deltas[fresh].astype(float) * _RATE_PER_BYTE_SECOND / elapsed[fresh]
+            )
+        # Re-sync on every answered poll — including after a reset, so the
+        # next interval is derived from the rebooted counter's new baseline.
+        self.last_counter[answered] = counters[answered]
+        self.last_response[answered] = response_times[answered]
+        self.have_last |= answered
+
+        self.stale_rounds[fresh] = 0
+        self.stale_rounds[~fresh] += 1
+        self.lost_samples += int((~answered).sum())
+        self.degenerate_samples += int(degenerate.sum())
+        self.reset_samples += int(reset.sum())
+        self.wrap_samples += int((usable & ~degenerate & backwards & ~reset).sum())
+        return self.rate.copy(), fresh
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The tracker's full state as named arrays (for checkpointing)."""
+        return {
+            "tracker_have_last": self.have_last,
+            "tracker_last_counter": self.last_counter,
+            "tracker_last_response": self.last_response,
+            "tracker_rate": self.rate,
+            "tracker_stale_rounds": self.stale_rounds,
+            "tracker_counts": np.array(
+                [
+                    self.wrap_samples,
+                    self.reset_samples,
+                    self.degenerate_samples,
+                    self.lost_samples,
+                ],
+                dtype=np.int64,
+            ),
+        }
+
+    def load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        """Restore state previously produced by :meth:`state_arrays`."""
+        have = np.asarray(arrays["tracker_have_last"], dtype=bool)
+        if have.shape != (self.num_objects,):
+            raise StreamingError(
+                f"checkpointed tracker covers {have.shape[0]} objects, "
+                f"expected {self.num_objects}"
+            )
+        self.have_last = have.copy()
+        self.last_counter = np.asarray(arrays["tracker_last_counter"], dtype=np.uint64).copy()
+        self.last_response = np.asarray(arrays["tracker_last_response"], dtype=float).copy()
+        self.rate = np.asarray(arrays["tracker_rate"], dtype=float).copy()
+        self.stale_rounds = np.asarray(arrays["tracker_stale_rounds"], dtype=np.int64).copy()
+        counts = np.asarray(arrays["tracker_counts"], dtype=np.int64)
+        self.wrap_samples = int(counts[0])
+        self.reset_samples = int(counts[1])
+        self.degenerate_samples = int(counts[2])
+        self.lost_samples = int(counts[3])

@@ -1,0 +1,127 @@
+"""Bounded-archive eviction and per-interval validity masks (PR 10 satellites)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import MeasurementError
+from repro.measurement.collector import DistributedCollector, MeasurementArchive
+from repro.measurement.snmp import SNMPPoller, rates_from_poll_matrix
+from repro.routing import build_routing_matrix
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_clean():
+    telemetry.disable()
+    telemetry.reset_telemetry()
+    yield
+    telemetry.disable()
+    telemetry.reset_telemetry()
+
+
+class TestArchiveRingBuffer:
+    def test_record_evicts_oldest_beyond_bound(self):
+        archive = MeasurementArchive(max_samples=3)
+        for step in range(6):
+            archive.record("link", float(step), float(step * 10))
+        assert archive.num_samples("link") == 3
+        assert archive.evicted_samples == 3
+        assert archive.samples("link") == ((3.0, 30.0), (4.0, 40.0), (5.0, 50.0))
+
+    def test_record_block_evicts_across_blocks(self):
+        archive = MeasurementArchive(max_samples=4)
+        archive.record_block(["link"], np.arange(3.0), np.arange(3.0).reshape(3, 1))
+        archive.record_block(
+            ["link"], 3.0 + np.arange(3.0), (3.0 + np.arange(3.0)).reshape(3, 1)
+        )
+        assert archive.num_samples("link") == 4
+        timestamps = [sample[0] for sample in archive.samples("link")]
+        assert timestamps == [2.0, 3.0, 4.0, 5.0]
+        assert archive.evicted_samples == 2
+
+    def test_unbounded_archive_never_evicts(self):
+        archive = MeasurementArchive()
+        for step in range(100):
+            archive.record("link", float(step), 1.0)
+        assert archive.num_samples("link") == 100
+        assert archive.evicted_samples == 0
+
+    def test_non_positive_bound_rejected(self):
+        with pytest.raises(MeasurementError):
+            MeasurementArchive(max_samples=0)
+
+    def test_retention_gauges_published(self):
+        telemetry.enable()
+        archive = MeasurementArchive(max_samples=5)
+        for step in range(8):
+            archive.record("a", float(step), 1.0)
+            archive.record("b", float(step), 2.0)
+        gauges = telemetry.metrics_snapshot()["gauges"]
+        assert gauges["archive.retained_samples"] == 10.0  # 5 per object
+        assert gauges["archive.retained_bytes"] == 10.0 * 16
+
+    def test_collector_forwards_bound(self):
+        from repro.datasets import small_scenario
+
+        scenario = small_scenario(seed=11, num_nodes=4, num_samples=10)
+        collector = DistributedCollector(
+            scenario.routing,
+            num_pollers=2,
+            jitter_std_seconds=0.0,
+            loss_probability=0.0,
+            seed=1,
+            archive_max_samples=4,
+        )
+        collector.collect(scenario.day_series)
+        for name in collector.link_object_names:
+            assert collector.archive.num_samples(name) <= 4
+        assert collector.archive.evicted_samples > 0
+
+
+class TestValidityMask:
+    def test_clean_polls_are_fully_valid(self):
+        poller = SNMPPoller(("a", "b"), jitter_std_seconds=0.0, seed=0)
+        polls = poller.run_schedule_matrix(np.full((6, 2), 10.0))
+        _, diagnostics = rates_from_poll_matrix(polls)
+        assert diagnostics.validity is not None
+        assert diagnostics.validity.shape == (6, 2)
+        assert diagnostics.validity.all()
+        assert not diagnostics.validity.flags.writeable
+
+    def test_lost_polls_marked_invalid(self):
+        poller = SNMPPoller(("a", "b", "c"), jitter_std_seconds=0.0,
+                            loss_probability=0.3, seed=3)
+        polls = poller.run_schedule_matrix(np.full((20, 3), 10.0))
+        _, diagnostics = rates_from_poll_matrix(polls)
+        validity = diagnostics.validity
+        assert validity is not None
+        # Interpolated sample accounting and the mask must agree.
+        assert int((~validity).sum()) == diagnostics.interpolated_samples
+        # A lost poll invalidates both adjacent intervals.
+        lost_rounds, lost_objects = np.nonzero(polls.lost)
+        for round_index, object_index in zip(lost_rounds, lost_objects):
+            if round_index < validity.shape[0]:
+                assert not validity[round_index, object_index]
+            if round_index > 0:
+                assert not validity[round_index - 1, object_index]
+
+    def test_merged_diagnostics_concatenate_masks(self):
+        poller_a = SNMPPoller(("a",), jitter_std_seconds=0.0, loss_probability=0.5, seed=1)
+        poller_b = SNMPPoller(("b",), jitter_std_seconds=0.0, loss_probability=0.0, seed=2)
+        _, diag_a = rates_from_poll_matrix(poller_a.run_schedule_matrix(np.full((8, 1), 10.0)))
+        _, diag_b = rates_from_poll_matrix(poller_b.run_schedule_matrix(np.full((8, 1), 10.0)))
+        merged = diag_a.merged(diag_b)
+        assert merged.validity is not None
+        assert merged.validity.shape == (8, 2)
+        np.testing.assert_array_equal(merged.validity[:, 0], diag_a.validity[:, 0])
+        np.testing.assert_array_equal(merged.validity[:, 1], diag_b.validity[:, 0])
+
+    def test_merged_without_mask_drops_it(self):
+        poller = SNMPPoller(("a",), jitter_std_seconds=0.0, seed=1)
+        _, diagnostics = rates_from_poll_matrix(poller.run_schedule_matrix(np.full((4, 1), 10.0)))
+        import dataclasses
+
+        stripped = dataclasses.replace(diagnostics, validity=None)
+        assert diagnostics.merged(stripped).validity is None

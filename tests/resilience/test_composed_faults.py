@@ -1,0 +1,110 @@
+"""Composed fault interactions: multiple events corrupting one archive.
+
+The single-event tests in ``test_faults.py`` pin down each failure mode in
+isolation; these tests exercise the interactions the streaming PR cares
+about — a Counter32 line card *and* clock drift hitting the same polls,
+and a collector outage that runs off the end of the schedule (so there are
+no trailing good polls to recover from).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import small_scenario
+from repro.measurement.collector import DistributedCollector
+from repro.measurement.snmp import SNMPPoller, rates_from_poll_matrix
+from repro.resilience import ClockSkew, CollectorOutage, Counter32Wrap, fault_plan
+
+OBJECTS = ("a", "b", "c")
+RATES = np.full((10, len(OBJECTS)), 10.0)  # 10 Mbit/s sustained
+
+
+def clean_poller() -> SNMPPoller:
+    return SNMPPoller(OBJECTS, interval_seconds=300.0, jitter_std_seconds=0.0, seed=0)
+
+
+class TestCounter32WrapPlusClockSkew:
+    def test_wrap_recovery_survives_skewed_timestamps(self):
+        # 10 Mbit/s * 300 s = 3.75e8 bytes/interval: a 32-bit counter wraps
+        # roughly every 11 intervals, and the skewed clock stretches one
+        # interval's elapsed time.  Both effects must compose: wraps are
+        # still recovered, and only the skew-onset interval is biased.
+        plan = fault_plan(
+            Counter32Wrap(),
+            ClockSkew(offset_seconds=30.0, start_round=4),
+            seed=3,
+        )
+        long_rates = np.full((24, len(OBJECTS)), 10.0)
+        polls = plan.apply_to_polls(clean_poller().run_schedule_matrix(long_rates))
+        assert polls.counter_bits == 32
+
+        rates, diagnostics = rates_from_poll_matrix(polls)
+        assert diagnostics.wrap_samples > 0
+        assert diagnostics.reset_samples == 0
+        # Interval 3 (rounds 3 -> 4) spans the skew onset: 330 s of elapsed
+        # clock for 300 s of traffic biases its rate down by 10/11.
+        np.testing.assert_allclose(rates[3], 10.0 * 300.0 / 330.0)
+        # Every other interval sees consistent timestamps and exact rates.
+        steady = np.delete(rates, 3, axis=0)
+        np.testing.assert_allclose(steady, 10.0)
+
+    def test_composed_plan_is_deterministic(self):
+        plan = fault_plan(
+            Counter32Wrap(), ClockSkew(offset_seconds=12.5, start_round=2), seed=9
+        )
+        first = plan.apply_to_polls(clean_poller().run_schedule_matrix(RATES))
+        second = plan.apply_to_polls(clean_poller().run_schedule_matrix(RATES))
+        np.testing.assert_array_equal(first.counters, second.counters)
+        np.testing.assert_array_equal(first.response_times, second.response_times)
+
+
+class TestCollectorOutageAtScheduleEnd:
+    def test_outage_spanning_schedule_end_is_clamped(self):
+        # 10 rounds of polls (rounds 0-10 inclusive of the priming round);
+        # the outage claims rounds 8-14, running past the end.  The event
+        # must clamp instead of raising, and every poll from round 8 on is
+        # lost with no recovery tail.
+        plan = fault_plan(CollectorOutage(poller_index=0, start_round=8, num_rounds=7))
+        polls = plan.for_poller(0).apply_to_polls(
+            clean_poller().run_schedule_matrix(RATES)
+        )
+        assert polls.lost[8:].all()
+        assert not polls.lost[:8].any()
+
+        # The batch path extrapolates the trailing hole from the last valid
+        # samples instead of failing on it.
+        rates, diagnostics = rates_from_poll_matrix(polls)
+        assert diagnostics.interpolated_samples > 0
+        assert diagnostics.validity is not None
+        assert not diagnostics.validity[-1].any()
+        np.testing.assert_allclose(rates[-1], rates[6])
+
+    def test_outage_scopes_to_its_poller(self):
+        plan = fault_plan(CollectorOutage(poller_index=1, start_round=8, num_rounds=7))
+        unaffected = plan.for_poller(0).apply_to_polls(
+            clean_poller().run_schedule_matrix(RATES)
+        )
+        assert not unaffected.lost.any()
+
+    def test_full_pipeline_survives_trailing_outage(self):
+        # End-to-end: a two-poller collector whose poller 0 dies for good
+        # mid-schedule still produces a complete measured series.
+        scenario = small_scenario(seed=5, num_nodes=5, num_samples=10)
+        plan = fault_plan(CollectorOutage(poller_index=0, start_round=7, num_rounds=10))
+        collector = DistributedCollector(
+            scenario.routing,
+            num_pollers=2,
+            jitter_std_seconds=0.0,
+            loss_probability=0.0,
+            seed=4,
+            fault_plan=plan,
+        )
+        collector.collect(scenario.day_series)
+        measured = collector.measured_traffic_series()
+        assert len(measured) == len(scenario.day_series)
+        diagnostics = collector.collection_diagnostics()
+        assert diagnostics.lost_samples > 0
+        # The unaffected poller's objects keep tracking the true series.
+        loads = collector.measured_link_loads()
+        assert np.isfinite(loads).all()

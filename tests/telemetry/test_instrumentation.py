@@ -107,6 +107,58 @@ class TestSupervisorCounters:
         assert "supervisor.retry" in event_names
         assert "supervisor.fallback" in event_names
 
+    def test_attempts_hops_and_budget_trip_events(
+        self, telemetry_on, small_snapshot_problem
+    ):
+        estimator = get_estimator(
+            "supervised",
+            primary="entropy",
+            primary_params={"prior": "gravity"},
+            fallbacks=("gravity",),
+            max_iterations=2,
+            retries=1,
+        )
+        with pytest.warns(RuntimeWarning):
+            estimator.estimate(small_snapshot_problem)
+        snapshot = telemetry.metrics_snapshot()
+        counters = snapshot["counters"]
+        # Primary attempt + one retry + the fallback that succeeds.
+        assert counters["supervisor.attempts"] == 3
+        assert counters["supervisor.chain_hops"] == 1
+        assert snapshot["histograms"]["supervisor.attempts_per_call"]["count"] == 1
+        records = telemetry.drain_spans()
+        events = [
+            (name, attributes)
+            for record in records
+            for (_, name, attributes) in record.events
+        ]
+        trips = [attributes for name, attributes in events if name == "supervisor.budget_trip"]
+        assert len(trips) == 2  # primary attempt and its retry
+        for attributes in trips:
+            assert attributes["method"] == "entropy"
+            assert attributes["ticks"] is not None
+        hops = [attributes for name, attributes in events if name == "supervisor.chain_hop"]
+        assert [attributes["method"] for attributes in hops] == ["gravity"]
+
+    def test_construct_failure_counted_and_evented(
+        self, telemetry_on, small_snapshot_problem
+    ):
+        estimator = get_estimator(
+            "supervised",
+            primary="entropy",
+            primary_params={"no_such_option": 1.0},
+            fallbacks=("gravity",),
+            retries=0,
+        )
+        with pytest.warns(RuntimeWarning):
+            estimator.estimate(small_snapshot_problem)
+        counters = telemetry.metrics_snapshot()["counters"]
+        assert counters["supervisor.construct_failures"] == 1
+        assert counters["supervisor.attempts"] == 2  # failed construct + fallback
+        records = telemetry.drain_spans()
+        event_names = {name for record in records for (_, name, _) in record.events}
+        assert "supervisor.construct_failure" in event_names
+
 
 class TestShardedStageSpans:
     def test_stage_spans_cover_the_run(self, telemetry_on, small_snapshot_problem):
